@@ -1,0 +1,97 @@
+"""Ablation — dynamic vs static loop scheduling (§4's design choice).
+
+"Each group of changed edges is processed by each shared-memory
+thread, which is scheduled dynamically."
+
+Step-2 tasks cost each frontier vertex's in-degree, so the skew of the
+superstep tracks the degree distribution.  Dynamic chunking rebalances
+skew at the cost of shared-counter grabs; static pre-splitting is
+grab-free but eats the imbalance.  This ablation records one
+SOSP-update execution on each of two topologies and replays it under
+both policies:
+
+- **road** (roadNet-PA stand-in, degree ≈ uniform 2-4): virtually no
+  skew — static's lower dispatch overhead makes it marginally
+  *faster*, i.e. dynamic scheduling is not a free win;
+- **scale-free** (preferential attachment, heavy-tailed degrees up to
+  hundreds): hub tasks dominate blocks — dynamic wins clearly in the
+  compute-bound range (the gap closes again at very high thread counts
+  where both policies collapse onto the barrier cost).
+
+Together they justify the paper's choice: update workloads on general
+graphs cannot assume road-like uniformity, and dynamic scheduling is
+the robust default.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import render_table
+from repro.bench.runner import record_mosp_trace
+from repro.core import SOSPTree, sosp_update
+from repro.dynamic import random_insert_batch
+from repro.graph import preferential_attachment
+from repro.parallel import SimulatedEngine, replay_trace
+
+THREADS = (2, 4, 8, 16, 32, 64)
+
+
+def record_scalefree_trace():
+    g = preferential_attachment(20_000, m_per_vertex=2, k=1, seed=5)
+    tree = SOSPTree.build(g, 0)
+    batch = random_insert_batch(g, 600, seed=6)
+    batch.apply_to(g)
+    eng = SimulatedEngine(threads=1, record_trace=True)
+    sosp_update(g, tree, batch, engine=eng)
+    return list(eng.trace or [])
+
+
+def run_ablation(trace_cache):
+    key = ("roadNet-PA", 100_000)
+    if key not in trace_cache:
+        trace_cache[key] = record_mosp_trace("roadNet-PA", 100_000)
+    traces = {
+        "road": trace_cache[key].trace,
+        "scale-free": record_scalefree_trace(),
+    }
+    rows = []
+    for name, trace in traces.items():
+        for t in THREADS:
+            dyn = 1e3 * replay_trace(trace, t, schedule="dynamic")
+            sta = 1e3 * replay_trace(trace, t, schedule="static")
+            rows.append(
+                {
+                    "topology": name,
+                    "threads": t,
+                    "dynamic ms": f"{dyn:.3f}",
+                    "static ms": f"{sta:.3f}",
+                    "static/dynamic": f"{sta / dyn:.2f}x",
+                }
+            )
+    return rows
+
+
+def test_scheduling_ablation_report(benchmark, trace_cache, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(trace_cache), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        ["topology", "threads", "dynamic ms", "static ms",
+         "static/dynamic"],
+    )
+    write_result(results_dir, "ablation_scheduling.txt", text)
+
+    ratio = {
+        (r["topology"], r["threads"]):
+            float(r["static/dynamic"].rstrip("x"))
+        for r in rows
+    }
+    # road: near-uniform tasks, the policies are within a few percent
+    assert 0.9 <= ratio[("road", 64)] <= 1.1
+    # scale-free: dynamic never loses and wins clearly in the
+    # compute-bound mid-range (at very high T both collapse onto the
+    # barrier cost, shrinking the gap again)
+    sf = [ratio[("scale-free", t)] for t in THREADS]
+    assert all(v >= 1.0 for v in sf)
+    assert max(sf) > 1.1

@@ -1,0 +1,84 @@
+"""Extension — incremental full-Pareto-front maintenance.
+
+The paper's intro notes that parallel MOSP updating in dynamic
+networks was unexplored and tracks a *single* MOSP; this repository
+also implements the road not taken (``repro.mosp.DynamicParetoFront``):
+keep every vertex's full front current under insertions, using the
+paper's grouping idea at the label-set level.
+
+This benchmark plays insertion batches and compares incremental front
+propagation against a from-scratch Martins re-enumeration per batch.
+
+Workload: a road-like grid with anticorrelated objectives (front sizes
+in the thousands) under small local insertion batches — the regime
+where most of the front survives each change.  Work is counted in
+queue operations (pushes + settles) for both sides.
+
+Expected shape: the incremental update's label work tracks the *churn*
+(a quiet step costs hundreds of ops against tens of thousands for the
+re-enumeration; a cascading shortcut narrows the gap), and the
+maintained fronts stay exactly equal to the recomputed ones
+(asserted).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bench import render_table
+from repro.dynamic import local_insert_batch
+from repro.graph import attach_random_weights, grid_road
+from repro.mosp import DynamicParetoFront, martins
+
+STEPS = 5
+BATCH = 5
+
+
+def run_comparison():
+    g = grid_road(14, 14, k=2, seed=3)
+    g = attach_random_weights(
+        g, k=2, rng=np.random.default_rng(3), distribution="anticorrelated"
+    )
+    dpf = DynamicParetoFront(g, 0)
+    rows = []
+    for step in range(1, STEPS + 1):
+        batch = local_insert_batch(g, BATCH, hops=3, seed=40 + step)
+        batch.apply_to(g)
+        stats = dpf.update(batch)
+
+        full = martins(g, 0)
+        # correctness: identical fronts
+        for v in range(g.num_vertices):
+            got = sorted(map(tuple, np.round(dpf.front(v), 9).tolist())) \
+                if dpf.labels(v) else []
+            ref = sorted(map(tuple, np.round(full.front(v), 9).tolist())) \
+                if full.labels[v] else []
+            assert got == ref
+
+        incremental_work = stats.candidates + stats.accepted
+        recompute_work = full.pops + full.inserts
+        rows.append(
+            {
+                "step": step,
+                "front labels": dpf.num_labels(),
+                "accepted": stats.accepted,
+                "incremental ops": incremental_work,
+                "martins recompute": recompute_work,
+                "ratio": f"{recompute_work / max(1, incremental_work):.1f}x",
+            }
+        )
+    return rows
+
+
+def test_dynamic_front_report(benchmark, results_dir):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    text = render_table(
+        rows,
+        ["step", "front labels", "accepted", "incremental ops",
+         "martins recompute", "ratio"],
+    )
+    write_result(results_dir, "dynamic_front.txt", text)
+
+    # incremental beats recompute at every step on this workload
+    for r in rows:
+        assert float(r["ratio"].rstrip("x")) > 1.0, r

@@ -1,0 +1,48 @@
+"""Figure 5 — Speedup vs single-thread execution (ΔE = 100K).
+
+"Figure 5 shows the execution time ratio (speedup) of single and
+multi-thread executions when the datasets are varied.  The largest
+network in our test suite, i.e., road-usa shows the maximum speedup
+(up to 15X)." (§4.1)
+
+Expected shape: monotone speedup flattening toward 64 threads;
+road-usa on top (it has the most parallel slack per superstep),
+smaller networks lower.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import figure5_series, render_series_table
+from repro.bench.datasets import DATASETS
+from repro.bench.figures import DEFAULT_THREADS
+from repro.bench.plotting import ascii_line_chart
+
+
+def test_figure5_report(benchmark, trace_cache, results_dir):
+    series = benchmark.pedantic(
+        lambda: figure5_series(
+            datasets=sorted(DATASETS),
+            threads=DEFAULT_THREADS,
+            traces=trace_cache,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_series_table(
+        series, value_format=lambda s: f"{s:.2f}x"
+    )
+    chart = ascii_line_chart(
+        series, title="Figure 5: speedup vs threads (dE=100K scaled)",
+        x_label="threads", y_label="speedup", log_x=True,
+    )
+    write_result(results_dir, "fig5_speedup.txt", text + "\n\n" + chart)
+
+    for ds, pts in series.items():
+        d = dict(pts)
+        assert d[1] == pytest.approx(1.0)
+        assert d[64] > 2.0, f"{ds}: speedup at 64 threads is only {d[64]:.2f}"
+        assert d[64] <= 64.0
+    # the paper's headline: the largest network scales best
+    finals = {ds: dict(pts)[64] for ds, pts in series.items()}
+    assert finals["road-usa"] == max(finals.values())

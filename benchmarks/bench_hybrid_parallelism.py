@@ -1,0 +1,97 @@
+"""Extension — the conclusion's hybrid-parallelism prediction.
+
+"Our current implementation updates the SOSP trees one after another
+leading to longer execution times with a higher number of objectives.
+A potential solution lies in adopting hybrid parallelism: distributing
+tasks associated with each SOSP tree across processors, and then
+utilizing shared-memory parallelism within each processor for the SOSP
+update.  We foresee a reduction in execution time with this approach."
+
+The recorded per-step traces make the prediction testable: with ``k``
+objectives and ``T`` total threads,
+
+- **sequential trees** (the paper's implementation):
+  ``Σ_i replay(tree_i, T)`` — each update gets all T threads, one
+  after another;
+- **hybrid**: ``max_i replay(tree_i, T / k)`` — the updates run
+  concurrently on ``T/k``-thread groups.
+
+Expected shape: hybrid loses at low thread counts (splitting 2 threads
+between 2 trees beats nothing) and wins once per-tree parallelism
+saturates — the regime the conclusion anticipates for "a massive
+number of parallel threads".
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import render_table
+from repro.bench.runner import record_mosp_trace
+from repro.parallel import replay_trace
+
+DATASET = "roadNet-CA"
+THREADS = (2, 4, 8, 16, 32, 64, 128)
+OBJECTIVE_COUNTS = (2, 4)
+
+
+def run_comparison(trace_cache, k):
+    key = (DATASET, 100_000, k)
+    if key not in trace_cache:
+        trace_cache[key] = record_mosp_trace(DATASET, 100_000, k=k)
+    tr = trace_cache[key]
+    tree_traces = [
+        tr.step_traces[f"sosp_update_{i}"] for i in range(k)
+    ]
+    rest = [
+        ev
+        for step in ("ensemble", "bellman_ford", "reassign")
+        for ev in tr.step_traces[step]
+    ]
+    rows = []
+    for t in THREADS:
+        seq = sum(replay_trace(tt, t) for tt in tree_traces)
+        # hybrid: min(k, t) concurrent groups of t//groups threads; if
+        # there are more trees than groups they run in waves
+        groups = min(k, t)
+        per_group = max(1, t // groups)
+        waves = -(-k // groups)  # ceil
+        hyb = waves * max(replay_trace(tt, per_group) for tt in tree_traces)
+        tail = replay_trace(rest, t)
+        rows.append(
+            {
+                "k": k,
+                "threads": t,
+                "sequential ms": f"{1e3 * (seq + tail):.3f}",
+                "hybrid ms": f"{1e3 * (hyb + tail):.3f}",
+                "hybrid gain": f"{(seq + tail) / (hyb + tail):.2f}x",
+            }
+        )
+    return rows
+
+
+def test_hybrid_parallelism_report(benchmark, trace_cache, results_dir):
+    rows = benchmark.pedantic(
+        lambda: [
+            r for k in OBJECTIVE_COUNTS
+            for r in run_comparison(trace_cache, k)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(
+        rows, ["k", "threads", "sequential ms", "hybrid ms", "hybrid gain"]
+    )
+    write_result(results_dir, "hybrid_parallelism.txt", text)
+
+    def gains(k):
+        return {
+            r["threads"]: float(r["hybrid gain"].rstrip("x"))
+            for r in rows if r["k"] == k
+        }
+
+    g2, g4 = gains(2), gains(4)
+    # the conclusion's prediction: at high thread counts hybrid wins...
+    assert g2[128] > 1.0
+    assert g4[128] > g2[128]  # ...and more so with more objectives
+    # and the gain grows with thread count (per-tree scaling saturates)
+    assert g2[128] > g2[4]

@@ -1,0 +1,45 @@
+"""Table 2 — Networks in Our Test Suite.
+
+Regenerates the dataset inventory: paper sizes next to the stand-in
+sizes this reproduction sweeps (see DESIGN.md §2 for the substitution
+rationale).  The timed kernel is dataset generation itself, which is
+also the fixture cost every other benchmark pays.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import render_table, table2_rows
+from repro.bench.datasets import DATASETS, load_dataset
+
+
+def test_table2_report(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table2_rows(), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        [
+            "name",
+            "family",
+            "paper_vertices",
+            "paper_edges",
+            "standin_vertices",
+            "standin_edges",
+            "standin_avg_degree",
+        ],
+    )
+    write_result(results_dir, "table2_datasets.txt", text)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_dataset_generation_benchmark(benchmark, name):
+    """Time the stand-in generators (fresh build, no cache)."""
+    spec = DATASETS[name]
+    g = benchmark.pedantic(
+        lambda: spec.build(k=2), rounds=1, iterations=1
+    )
+    assert g.num_vertices > 0
+    # sparsity sanity: all four networks are sparse
+    assert g.num_edges / g.num_vertices < 10

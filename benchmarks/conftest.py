@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+- ``trace_cache`` (session-scoped): recorded MOSP-update executions,
+  shared across the Figure 4/5/6 benchmarks so each (dataset, ΔE)
+  configuration is executed exactly once per session.
+- ``results_dir``: where each benchmark writes its rendered series
+  (``results/*.txt``) for EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Heavy pipelines use
+``benchmark.pedantic(rounds=1)`` — the figures come from the simulated
+machine's virtual clock, not from wall-time statistics, so repeated
+execution would add nothing but heat.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    """(dataset, paper ΔE) → MOSPTrace, shared across bench modules."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table and echo it to the terminal."""
+    path = results_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}\n")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Drone delivery: budget-driven objective priorities (paper §3.2).
+
+The paper's worked application scenario:
+
+    "Let the energy budget be B, and energy consumption to deliver an
+    item by following T_f (resp. T_e) be c_f (resp. c_e).  If
+    c_f > B > c_e, the system prioritizes energy cost over delivery
+    time to ensure the drones can return to their charging point.
+    However, if B > c_f > c_e, the system may choose to follow T_f to
+    deliver the items faster.  ...  it may be beneficial to reserve
+    some energy budget for emergencies and follow a MOSP approach to
+    balance both time and energy objectives."
+
+This example reproduces all three policies over a sequence of delivery
+missions with a shrinking battery, switching the route automatically:
+
+- plenty of budget  → fly the time-optimal route T_f;
+- tight budget      → fly the energy-optimal route T_e;
+- in-between        → balanced MOSP with budget-driven priorities.
+
+Run:  python examples/drone_delivery.py
+"""
+
+import numpy as np
+
+from repro.core import SOSPTree, mosp_update
+from repro.core.priorities import budget_driven_priorities
+from repro.dynamic.workloads import drone_delivery_scenario
+
+scenario = drone_delivery_scenario(n=2000, steps=4, batch_size=30, seed=5)
+g = scenario.graph
+depot = scenario.source
+drop_site = g.num_vertices - 1
+
+trees = [SOSPTree.build(g, depot, objective=i) for i in range(2)]
+
+print(f"airspace: {g.num_vertices} waypoints, {g.num_edges} corridors")
+print(f"mission: depot {depot} -> drop site {drop_site}  "
+      f"({' vs '.join(scenario.objective_names)})\n")
+
+FULL_CHARGE = 350.0
+battery = FULL_CHARGE
+batches = list(scenario.stream.batches())
+
+header = (f"{'mission':>7}  {'battery':>8}  {'policy':>9}  "
+          f"{'c_f':>6} {'c_e':>6}  {'flown time':>10} {'flown energy':>12}")
+print(header)
+print("-" * len(header))
+
+for mission in range(1, 5):
+    # wind shifts between missions: new corridors appear; update trees
+    batch = batches[mission - 1]
+    batch.apply_to(g)
+
+    # c_f: energy consumed along the *time-optimal* route
+    # c_e: energy consumed along the *energy-optimal* route
+    result = mosp_update(g, trees, batch)  # keeps both trees current
+    t_f_path = trees[0].path_to(drop_site)
+
+    def path_energy(path):
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            w = min(
+                (tuple(g.weight(eid)) for vv, eid in g.out_edges(u)
+                 if vv == v),
+            )
+            total += w[1]
+        return total
+
+    c_f = path_energy(t_f_path)
+    c_e = trees[1].dist[drop_site]
+
+    if battery <= c_e:
+        # opportunistic partial top-up at the depot between missions
+        battery = 0.55 * FULL_CHARGE
+        print(f"{mission:>7}  {'recharge':>8}")
+
+    if battery > 1.5 * c_f:
+        policy = "fast"     # B >> c_f > c_e: fly T_f
+        path = t_f_path
+    elif c_f > battery > c_e:
+        policy = "lean"     # c_f > B > c_e: fly T_e
+        path = trees[1].path_to(drop_site)
+    else:
+        # reserve margin: balance both objectives, leaning on whichever
+        # is under budget pressure
+        prios = budget_driven_priorities(
+            [trees[0].dist[drop_site], c_f],
+            [None, battery],
+        )
+        result = mosp_update(g, trees, weighting="priority",
+                             priorities=prios)
+        policy = "balanced"
+        path = result.path_to(drop_site)
+
+    flown_time = sum(
+        min((tuple(g.weight(eid)) for vv, eid in g.out_edges(u)
+             if vv == v))[0]
+        for u, v in zip(path, path[1:])
+    )
+    flown_energy = path_energy(path)
+    print(f"{mission:>7}  {battery:>8.1f}  {policy:>9}  "
+          f"{c_f:>6.1f} {c_e:>6.1f}  {flown_time:>10.1f} "
+          f"{flown_energy:>12.1f}")
+    battery -= flown_energy + 5.0  # mission drain + fixed overhead
+
+print("\n(the drone flies fast while the battery allows, shifts to "
+      "balanced routes\n under pressure, and to the leanest route when "
+      "the budget pinches)")

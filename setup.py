@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept so legacy editable installs (``pip install -e . --no-use-pep517``)
+work on environments whose setuptools lacks the ``wheel`` package
+required by PEP 660 editable builds. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

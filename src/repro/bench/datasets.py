@@ -1,0 +1,122 @@
+"""The Table 2 dataset registry (paper networks → scaled stand-ins).
+
+The paper evaluates on four network-repository graphs (Table 2).  This
+environment has no network access and a single core, so the registry
+maps each to a seeded synthetic stand-in of the same topology class
+(see DESIGN.md §2) at a size a pure-Python run can sweep.  The real
+``.mtx`` files drop in via ``mtx_path`` +
+:func:`repro.graph.io.read_matrix_market` when available.
+
+Batch sizes are scaled to preserve the paper's ΔE/|E| ratio per
+dataset, which is what drives the relative scalability behaviour the
+paper reports (small graphs + relatively large batches scale worst).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import BenchmarkError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_geometric, road_like
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "PAPER_BATCH_SIZES"]
+
+#: The ΔE values the paper sweeps (Figure 4).
+PAPER_BATCH_SIZES: Tuple[int, ...] = (50_000, 100_000, 200_000)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-2 network and its stand-in generator.
+
+    Attributes
+    ----------
+    name:
+        Paper dataset name.
+    paper_vertices, paper_edges:
+        Sizes reported in Table 2.
+    family:
+        ``"road"`` or ``"rgg"`` — selects the stand-in generator.
+    standin_n:
+        Target vertex count of the stand-in.
+    seed:
+        Generation seed (stand-ins are fully deterministic).
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    family: str
+    standin_n: int
+    seed: int
+
+    def build(self, k: int = 2) -> DiGraph:
+        """Generate the stand-in graph with ``k`` random objectives."""
+        if self.family == "road":
+            return road_like(self.standin_n, k=k, seed=self.seed)
+        if self.family == "rgg":
+            return random_geometric(self.standin_n, k=k, seed=self.seed)
+        raise BenchmarkError(f"unknown dataset family {self.family!r}")
+
+    def scaled_batch_size(self, paper_delta_e: int, actual_edges: int) -> int:
+        """Scale a paper ΔE to this stand-in, preserving ΔE/|E|."""
+        ratio = paper_delta_e / self.paper_edges
+        return max(1, int(round(ratio * actual_edges)))
+
+
+#: Table 2 of the paper, with stand-in parameters.
+DATASETS: Dict[str, DatasetSpec] = {
+    "road-usa": DatasetSpec(
+        name="road-usa",
+        paper_vertices=23_947_347,
+        paper_edges=28_900_000,
+        family="road",
+        standin_n=80_000,
+        seed=11,
+    ),
+    "rgg-n-2-20-s0": DatasetSpec(
+        name="rgg-n-2-20-s0",
+        paper_vertices=1_048_576,
+        paper_edges=6_891_620,
+        family="rgg",
+        standin_n=8_000,
+        seed=13,
+    ),
+    "roadNet-CA": DatasetSpec(
+        name="roadNet-CA",
+        paper_vertices=1_971_281,
+        paper_edges=5_533_214,
+        family="road",
+        standin_n=16_000,
+        seed=17,
+    ),
+    "roadNet-PA": DatasetSpec(
+        name="roadNet-PA",
+        paper_vertices=1_090_920,
+        paper_edges=3_083_796,
+        family="road",
+        standin_n=9_000,
+        seed=19,
+    ),
+}
+
+_CACHE: Dict[Tuple[str, int], DiGraph] = {}
+
+
+def load_dataset(name: str, k: int = 2, fresh: bool = False) -> DiGraph:
+    """Build (and memoise) a stand-in dataset.
+
+    ``fresh=True`` returns an independent copy safe to mutate — the
+    usual mode for update benchmarks, which insert edges.
+    """
+    if name not in DATASETS:
+        raise BenchmarkError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        )
+    key = (name, k)
+    if key not in _CACHE:
+        _CACHE[key] = DATASETS[name].build(k=k)
+    g = _CACHE[key]
+    return g.copy() if fresh else g

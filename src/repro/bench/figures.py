@@ -1,0 +1,122 @@
+"""Series builders for Figures 4, 5 and 6.
+
+Each function returns plain data structures (dicts of lists) that the
+``benchmarks/`` scripts render with :mod:`repro.bench.report`; nothing
+here draws — the deliverable is the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.datasets import DATASETS, PAPER_BATCH_SIZES
+from repro.bench.runner import MOSPTrace, record_mosp_trace
+
+__all__ = [
+    "DEFAULT_THREADS",
+    "figure4_series",
+    "figure5_series",
+    "figure6_breakdown",
+]
+
+#: The paper's strong-scaling sweep: 1..64 OpenMP threads.
+DEFAULT_THREADS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+def figure4_series(
+    datasets: Optional[Sequence[str]] = None,
+    paper_batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    k: int = 2,
+    seed: int = 0,
+    traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
+) -> Dict[str, Dict[int, List[Tuple[int, float]]]]:
+    """Figure 4: time (ms) vs threads, one panel per dataset.
+
+    Returns ``{dataset: {paper_ΔE: [(threads, ms), ...]}}``.
+
+    ``traces`` lets callers share recorded executions between figures
+    (Figure 5 uses the same ΔE=100K traces); missing entries are
+    recorded on demand and added to the dict.
+    """
+    datasets = list(datasets or DATASETS)
+    traces = traces if traces is not None else {}
+    out: Dict[str, Dict[int, List[Tuple[int, float]]]] = {}
+    for ds in datasets:
+        out[ds] = {}
+        for de in paper_batch_sizes:
+            key = (ds, de)
+            if key not in traces:
+                traces[key] = record_mosp_trace(ds, de, k=k, seed=seed)
+            tr = traces[key]
+            out[ds][de] = [(t, tr.time_ms(t)) for t in threads]
+    return out
+
+
+def figure5_series(
+    datasets: Optional[Sequence[str]] = None,
+    paper_batch_size: int = 100_000,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    k: int = 2,
+    seed: int = 0,
+    traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Figure 5: speedup vs single thread for ΔE = 100K (scaled).
+
+    Returns ``{dataset: [(threads, speedup), ...]}``.
+    """
+    datasets = list(datasets or DATASETS)
+    traces = traces if traces is not None else {}
+    out: Dict[str, List[Tuple[int, float]]] = {}
+    for ds in datasets:
+        key = (ds, paper_batch_size)
+        if key not in traces:
+            traces[key] = record_mosp_trace(ds, paper_batch_size, k=k,
+                                            seed=seed)
+        tr = traces[key]
+        t1 = tr.time_at(1)
+        out[ds] = [(t, t1 / tr.time_at(t)) for t in threads]
+    return out
+
+
+def figure6_breakdown(
+    datasets: Optional[Sequence[str]] = None,
+    paper_batch_size: int = 100_000,
+    threads: int = 4,
+    k: int = 2,
+    seed: int = 0,
+    traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 6: % of time per algorithm step at ``threads`` threads.
+
+    The paper groups the pipeline as SOSP1, SOSP2, and
+    "Merge and Parallel Bellmanford"; we report the same grouping:
+    ensemble + Bellman-Ford + reassignment fold into the merge bucket.
+
+    Returns ``{dataset: {"SOSP1": pct, "SOSP2": pct, "Merge+BF": pct}}``.
+    """
+    datasets = list(datasets or DATASETS)
+    traces = traces if traces is not None else {}
+    out: Dict[str, Dict[str, float]] = {}
+    for ds in datasets:
+        key = (ds, paper_batch_size)
+        if key not in traces:
+            traces[key] = record_mosp_trace(ds, paper_batch_size, k=k,
+                                            seed=seed)
+        steps = traces[key].step_times_at(threads)
+        sosp1 = steps.get("sosp_update_0", 0.0)
+        sosp2 = steps.get("sosp_update_1", 0.0)
+        merge = sum(
+            v for kk, v in steps.items()
+            if kk in ("ensemble", "bellman_ford", "reassign")
+        )
+        total = sosp1 + sosp2 + merge
+        if total <= 0:
+            out[ds] = {"SOSP1": 0.0, "SOSP2": 0.0, "Merge+BF": 0.0}
+            continue
+        out[ds] = {
+            "SOSP1": 100.0 * sosp1 / total,
+            "SOSP2": 100.0 * sosp2 / total,
+            "Merge+BF": 100.0 * merge / total,
+        }
+    return out

@@ -1,0 +1,95 @@
+"""Dependency-free ASCII charts for the benchmark figures.
+
+The paper's figures are line plots; the harness renders the same
+series as terminal charts (plus the aligned tables from
+:mod:`repro.bench.report`) so `results/` is self-contained without
+matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII scatter/line chart.
+
+    Each series gets a marker character; a legend follows the canvas.
+    ``log_x`` spaces the x axis logarithmically (natural for the 1..64
+    thread sweeps).
+
+    Examples
+    --------
+    >>> chart = ascii_line_chart({"a": [(1, 1.0), (2, 2.0)]}, width=20,
+    ...                          height=5)
+    >>> "a" in chart
+    True
+    """
+    if not series:
+        return "(no data)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs:
+        return "(no data)"
+
+    def tx(x: float) -> float:
+        return math.log2(x) if log_x else x
+
+    x_lo, x_hi = min(map(tx, xs)), max(map(tx, xs))
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        prev: Optional[Tuple[int, int]] = None
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((y_hi - y) / y_span * (height - 1))
+            if prev is not None:
+                # draw a sparse connecting segment
+                (pc, pr) = prev
+                steps = max(abs(col - pc), abs(row - pr))
+                for s in range(1, steps):
+                    ic = pc + round(s * (col - pc) / steps)
+                    ir = pr + round(s * (row - pr) / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[row][col] = marker
+            prev = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.4g}"
+    bottom = f"{y_lo:.4g}"
+    pad = max(len(top), len(bottom))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_left = f"{min(xs):.4g}"
+    x_right = f"{max(xs):.4g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (pad + 2) + x_left + " " * max(1, gap) + x_right)
+    lines.append(f"{y_label} vs {x_label}" + ("  [log x]" if log_x else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmarks print the same rows/series the paper plots; these
+helpers keep the output aligned and diff-friendly (EXPERIMENTS.md
+embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+__all__ = ["render_table", "render_series_table", "format_ms"]
+
+
+def format_ms(ms: float) -> str:
+    """Compact millisecond formatting (3 significant-ish digits)."""
+    if ms >= 100:
+        return f"{ms:,.0f}"
+    if ms >= 1:
+        return f"{ms:.2f}"
+    return f"{ms:.4f}"
+
+
+def render_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str]) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty)"
+    widths = {
+        c: max(len(c), max(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for r in rows:
+        lines.append(
+            "  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: Mapping[str, Sequence[Tuple[int, float]]],
+    x_label: str = "threads",
+    value_format=format_ms,
+) -> str:
+    """Render ``{series_name: [(x, y), ...]}`` with x as rows.
+
+    All series must share the same x grid (they do: the thread sweep).
+    """
+    names = list(series)
+    if not names:
+        return "(empty)"
+    xs = [x for x, _ in series[names[0]]]
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_label: x}
+        for name in names:
+            row[name] = value_format(series[name][i][1])
+        rows.append(row)
+    return render_table(rows, [x_label] + names)

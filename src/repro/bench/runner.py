@@ -1,0 +1,162 @@
+"""Experiment runner: record one MOSP-update execution as a trace.
+
+One call to :func:`record_mosp_trace` plays the full Algorithm-2
+pipeline (per-objective tree updates → ensemble → Bellman-Ford →
+reassign) for one ``(dataset, ΔE)`` configuration on a trace-recording
+simulated engine.  The recorded trace is then replayed at any thread
+count by :func:`repro.parallel.replay_trace` — this is how the 1→64
+thread sweeps of Figures 4–5 come from a single execution each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.core.mosp_update import mosp_update
+from repro.core.tree import SOSPTree
+from repro.dynamic.batch_gen import random_insert_batch
+from repro.errors import BenchmarkError
+from repro.parallel.backends.simulated import (
+    CostModel,
+    SimulatedEngine,
+    replay_trace,
+)
+
+__all__ = ["MOSPTrace", "record_mosp_trace"]
+
+
+@dataclass
+class MOSPTrace:
+    """A recorded MOSP-update execution plus metadata.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset name.
+    batch_size:
+        Scaled ΔE actually inserted.
+    paper_batch_size:
+        The paper ΔE this configuration mirrors (e.g. 100_000).
+    trace:
+        The replayable event list.
+    step_traces:
+        Pipeline-step name → its slice of the trace (for Figure 6
+        breakdowns at any thread count).
+    num_vertices, num_edges:
+        Stand-in sizes after the batch.
+    wall_seconds:
+        Real time the recording took (informational).
+    """
+
+    dataset: str
+    batch_size: int
+    paper_batch_size: int
+    trace: List[tuple]
+    step_traces: Dict[str, List[tuple]]
+    num_vertices: int
+    num_edges: int
+    wall_seconds: float
+
+    def time_at(self, threads: int, cost_model: Optional[CostModel] = None) -> float:
+        """Virtual seconds for the whole update at ``threads``."""
+        return replay_trace(self.trace, threads, cost_model)
+
+    def time_ms(self, threads: int) -> float:
+        """Virtual milliseconds at ``threads``."""
+        return self.time_at(threads) * 1e3
+
+    def step_times_at(self, threads: int) -> Dict[str, float]:
+        """Virtual seconds per pipeline step at ``threads``."""
+        return {
+            step: replay_trace(tr, threads)
+            for step, tr in self.step_traces.items()
+        }
+
+
+def record_mosp_trace(
+    dataset: str,
+    paper_batch_size: int,
+    k: int = 2,
+    seed: int = 0,
+    source: int = 0,
+    weighting: str = "balanced",
+) -> MOSPTrace:
+    """Execute one MOSP update on a trace-recording engine.
+
+    The batch size is the paper ΔE scaled by the dataset's ΔE/|E|
+    ratio (see :class:`~repro.bench.datasets.DatasetSpec`).  The graph
+    is freshly built, the initial per-objective trees are computed
+    from scratch (not timed — the paper also times only the update),
+    the batch is applied, and the full :func:`mosp_update` pipeline
+    runs under a recording :class:`SimulatedEngine`.
+    """
+    if dataset not in DATASETS:
+        raise BenchmarkError(f"unknown dataset {dataset!r}")
+    spec = DATASETS[dataset]
+    g = load_dataset(dataset, k=k, fresh=True)
+    batch_size = spec.scaled_batch_size(paper_batch_size, g.num_edges)
+    trees = [SOSPTree.build(g, source, objective=i) for i in range(k)]
+    batch = random_insert_batch(g, batch_size, seed=seed)
+    batch.apply_to(g)
+
+    eng = SimulatedEngine(threads=1, record_trace=True)
+    t0 = time.perf_counter()
+    # segment the trace by pipeline step: snapshot the trace length
+    # around each step using the step timers' keys order
+    result = mosp_update(g, trees, batch, engine=eng, weighting=weighting)
+    wall = time.perf_counter() - t0
+
+    # rebuild per-step trace slices from the engine's virtual timeline:
+    # mosp_update charged steps strictly in order, so cutting the trace
+    # at each step's cumulative virtual time reproduces the segments.
+    step_traces = _segment_trace(eng.trace or [], result.step_virtual_seconds)
+
+    return MOSPTrace(
+        dataset=dataset,
+        batch_size=batch_size,
+        paper_batch_size=paper_batch_size,
+        trace=list(eng.trace or []),
+        step_traces=step_traces,
+        num_vertices=g.num_vertices,
+        num_edges=g.num_edges,
+        wall_seconds=wall,
+    )
+
+
+def _segment_trace(
+    trace: List[tuple], step_virtual_seconds: Dict[str, float]
+) -> Dict[str, List[tuple]]:
+    """Split a trace into per-step slices by cumulative virtual time.
+
+    ``step_virtual_seconds`` preserves insertion order (the pipeline
+    order), so consuming events until each step's recorded virtual
+    duration is exhausted recovers the per-step sub-traces exactly —
+    the engine's clock advances by the same amounts it did live.
+    """
+    cm = CostModel()
+    out: Dict[str, List[tuple]] = {}
+    idx = 0
+
+    def event_cost(ev, threads=1) -> float:
+        kind, payload = ev
+        if kind == "serial":
+            return payload * cm.seconds_per_unit
+        return replay_trace([ev], 1, cm)
+
+    for step, duration in step_virtual_seconds.items():
+        seg: List[tuple] = []
+        acc = 0.0
+        while idx < len(trace) and acc < duration - 1e-15:
+            ev = trace[idx]
+            seg.append(ev)
+            acc += event_cost(ev)
+            idx += 1
+        out[step] = seg
+    # anything left belongs to the final step (trailing charges)
+    if idx < len(trace) and out:
+        last = next(reversed(out))
+        out[last].extend(trace[idx:])
+    return out

@@ -1,0 +1,36 @@
+"""Table builders (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.datasets import DATASETS, load_dataset
+
+__all__ = ["table2_rows"]
+
+
+def table2_rows(
+    datasets: Optional[Sequence[str]] = None, k: int = 2
+) -> List[Dict[str, object]]:
+    """Table 2: networks in the test suite, paper vs stand-in sizes.
+
+    Returns one dict per dataset with keys ``name``, ``paper_vertices``,
+    ``paper_edges``, ``standin_vertices``, ``standin_edges``,
+    ``standin_avg_degree``, ``family``.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in (datasets or DATASETS):
+        spec = DATASETS[name]
+        g = load_dataset(name, k=k)
+        rows.append(
+            {
+                "name": name,
+                "family": spec.family,
+                "paper_vertices": spec.paper_vertices,
+                "paper_edges": spec.paper_edges,
+                "standin_vertices": g.num_vertices,
+                "standin_edges": g.num_edges,
+                "standin_avg_degree": round(g.num_edges / g.num_vertices, 2),
+            }
+        )
+    return rows

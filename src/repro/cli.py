@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package, algorithm, and engine inventory.
+``generate``
+    Write a synthetic network (road-like / rgg / erdos-renyi) as an
+    edge list.
+``sssp``
+    Single-objective shortest paths over an edge-list file.
+``mosp``
+    One balanced (or priority-weighted) multi-objective path between
+    two vertices of an edge-list file.
+``update-demo``
+    Play random insertion batches over a file or synthetic network and
+    report per-batch incremental-update statistics.
+
+Every command reads/writes the edge-list format of
+:mod:`repro.graph.io` (``u v w1 [.. wk]`` lines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core import SOSPTree, mosp_update, sosp_update
+from repro.dynamic import random_insert_batch
+from repro.errors import ReproError
+from repro.graph import DiGraph, erdos_renyi, random_geometric, road_like
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.parallel import resolve_engine
+from repro.sssp import recompute_sssp
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel single/multi-objective shortest-path updates in "
+            "dynamic networks (Khanda, Shovan & Das, SC-W 2023)"
+        ),
+    )
+    p.add_argument("--version", action="version",
+                   version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and engine inventory")
+
+    g = sub.add_parser("generate", help="write a synthetic network")
+    g.add_argument("family", choices=("road", "rgg", "er"))
+    g.add_argument("output", help="edge-list path to write")
+    g.add_argument("-n", type=int, default=1000, help="vertex count")
+    g.add_argument("-m", type=int, default=None,
+                   help="edge count (er only; default 4n)")
+    g.add_argument("-k", type=int, default=2, help="objectives per edge")
+    g.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("sssp", help="single-objective shortest paths")
+    s.add_argument("graph", help="edge-list file")
+    s.add_argument("--source", type=int, default=0)
+    s.add_argument("--objective", type=int, default=0)
+    s.add_argument("--algorithm", default="dijkstra",
+                   choices=("dijkstra", "bellman_ford", "delta_stepping"))
+    s.add_argument("--target", type=int, default=None,
+                   help="print the path to this vertex")
+
+    m = sub.add_parser("mosp", help="one multi-objective shortest path")
+    m.add_argument("graph", help="edge-list file")
+    m.add_argument("--source", type=int, default=0)
+    m.add_argument("--target", type=int, required=True)
+    m.add_argument("--weighting", default="balanced",
+                   choices=("balanced", "unit", "priority"))
+    m.add_argument("--priorities", type=float, nargs="+", default=None)
+    m.add_argument("--engine", default="serial",
+                   choices=("serial", "threads", "simulated"))
+    m.add_argument("--threads", type=int, default=4)
+
+    u = sub.add_parser("update-demo",
+                       help="incremental updates over random batches")
+    u.add_argument("graph", nargs="?", default=None,
+                   help="edge-list file (default: synthetic road, n=2000)")
+    u.add_argument("--source", type=int, default=0)
+    u.add_argument("--steps", type=int, default=3)
+    u.add_argument("--batch-size", type=int, default=50)
+    u.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _load(path: str) -> DiGraph:
+    return read_edge_list(path)
+
+
+def _cmd_info(args, out) -> int:
+    print(f"repro {__version__}", file=out)
+    print("paper: Khanda, Shovan & Das, SC-W 2023 "
+          "(doi:10.1145/3624062.3625134)", file=out)
+    print("algorithms: sosp_update (Alg 1), mosp_update (Alg 2), "
+          "sosp_update_fulldynamic, IncrementalMOSP", file=out)
+    print("baselines: dijkstra, bellman_ford (3 variants), "
+          "delta_stepping, martins, weighted_sum", file=out)
+    print("engines: serial, threads, processes, simulated", file=out)
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    if args.family == "road":
+        g = road_like(args.n, k=args.k, seed=args.seed)
+    elif args.family == "rgg":
+        g = random_geometric(args.n, k=args.k, seed=args.seed)
+    else:
+        m = args.m if args.m is not None else 4 * args.n
+        g = erdos_renyi(args.n, m, k=args.k, seed=args.seed)
+    write_edge_list(g, args.output)
+    print(f"wrote {g.num_vertices} vertices / {g.num_edges} edges "
+          f"(k={g.num_objectives}) to {args.output}", file=out)
+    return 0
+
+
+def _cmd_sssp(args, out) -> int:
+    g = _load(args.graph)
+    dist, parent = recompute_sssp(
+        g, args.source, args.objective, args.algorithm
+    )
+    reachable = int(np.isfinite(dist).sum())
+    finite = dist[np.isfinite(dist)]
+    print(f"source {args.source}: {reachable}/{g.num_vertices} reachable, "
+          f"max dist {finite.max():.4g}" if reachable
+          else "source reaches nothing", file=out)
+    if args.target is not None:
+        tree = SOSPTree(args.source, dist, parent, args.objective)
+        path = tree.path_to(args.target)
+        print("path:", " -> ".join(map(str, path)), file=out)
+        print(f"distance: {dist[args.target]:.6g}", file=out)
+    return 0
+
+
+def _cmd_mosp(args, out) -> int:
+    g = _load(args.graph)
+    engine = resolve_engine(args.engine, threads=args.threads)
+    trees = [
+        SOSPTree.build(g, args.source, objective=i)
+        for i in range(g.num_objectives)
+    ]
+    r = mosp_update(g, trees, engine=engine,
+                    weighting=args.weighting, priorities=args.priorities)
+    path = r.path_to(args.target)
+    print("path:", " -> ".join(map(str, path)), file=out)
+    print("cost:", np.round(r.cost_to(args.target), 6).tolist(), file=out)
+    for i, t in enumerate(trees):
+        print(f"objective {i} optimum: {t.dist[args.target]:.6g}",
+              file=out)
+    return 0
+
+
+def _cmd_update_demo(args, out) -> int:
+    g = _load(args.graph) if args.graph else road_like(2000, k=1,
+                                                       seed=args.seed)
+    if g.num_objectives != 1:
+        # demo drives Algorithm 1 directly; use the first objective
+        pass
+    tree = SOSPTree.build(g, args.source)
+    print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges",
+          file=out)
+    for step in range(1, args.steps + 1):
+        batch = random_insert_batch(g, args.batch_size,
+                                    seed=args.seed + step)
+        batch.apply_to(g)
+        stats = sosp_update(g, tree, batch)
+        print(
+            f"step {step}: +{batch.num_insertions} edges, "
+            f"{stats.affected_total} improvements over "
+            f"{stats.iterations} iterations, "
+            f"{stats.relaxations} relaxations", file=out,
+        )
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "sssp": _cmd_sssp,
+    "mosp": _cmd_mosp,
+    "update-demo": _cmd_update_demo,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

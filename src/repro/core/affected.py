@@ -1,0 +1,39 @@
+"""Algorithm 1, Step 2 machinery: the affected-vertex frontier.
+
+"Step 2 first gathers all unique neighbors of all the affected
+vertices in a vector N.  Then the vertices v ∈ N are assigned to
+parallel threads where each thread checks for the predecessors which
+are already marked as affected." (§3.1)
+
+Collecting *unique* out-neighbours before the parallel relaxation is
+what restores vertex ownership in the propagation phase: each v ∈ N is
+owned by one task, which scans v's in-edges — so again no two tasks
+write the same distance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["gather_unique_neighbors"]
+
+
+def gather_unique_neighbors(
+    g: DiGraph, affected: Iterable[int]
+) -> List[int]:
+    """Unique out-neighbours of all ``affected`` vertices (Alg. 1 l.15-17).
+
+    Order is deterministic (first-seen order over the affected list),
+    which keeps the whole update deterministic under the serial and
+    simulated engines.
+    """
+    seen = set()
+    out: List[int] = []
+    for u in affected:
+        for v, _eid in g.out_edges(u):
+            if v not in seen:
+                seen.add(v)
+                out.append(v)
+    return out

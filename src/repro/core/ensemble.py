@@ -1,0 +1,198 @@
+"""Algorithm 2, Step 2: the combined (ensemble) graph.
+
+"The algorithm first creates an ensemble graph E by considering all the
+edges from the SOSP trees T_i ∀i = 1..k.  If an edge e ∈ E appears in x
+number of SOSP trees, then the balanced approach assigns edge weight
+(k − x + 1) to that edge.  This approach assigns less weight to edges
+that appear in more SOSP trees while assigning more weight to uncommon
+edges." (§3.2)
+
+Implementation mirrors §4: "we directly use the parent-child
+relationship in the tree structure to find the edges.  We assign a
+single thread to each vertex to compare its parents among all the SOSP
+trees" — one task per vertex counts how many trees share each parent
+edge, and a reduction gathers the weighted edge list.
+
+Weighting schemes
+-----------------
+``balanced``   ``k − x + 1`` (the paper's default).
+``priority``   an edge contributed by tree ``T_i`` gets weight
+               inversely proportional to objective ``i``'s priority
+               (the paper's prioritised variant); an edge in several
+               trees takes its smallest weight.
+``unit``       every ensemble edge weighs 1 (the Theorem 1 setting, and
+               the control arm of the weighting ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import SOSPTree
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.parallel.api import Engine, resolve_engine
+from repro.types import DIST_DTYPE, NO_PARENT, VERTEX_DTYPE
+
+__all__ = ["build_ensemble", "EnsembleGraph", "vertex_ensemble_edges",
+           "resolve_weighting"]
+
+
+def resolve_weighting(
+    weighting: str, priorities, k: int
+):
+    """Validate the weighting scheme; return the priorities array (or
+    ``None`` for non-priority schemes)."""
+    if weighting not in ("balanced", "priority", "unit"):
+        raise AlgorithmError(
+            f"unknown weighting {weighting!r}; "
+            "expected balanced | priority | unit"
+        )
+    if weighting != "priority":
+        return None
+    if priorities is None:
+        raise AlgorithmError("priority weighting requires priorities")
+    prio = np.asarray(priorities, dtype=DIST_DTYPE)
+    if prio.shape != (k,) or np.any(prio <= 0):
+        raise AlgorithmError(
+            f"priorities must be {k} positive values, got {priorities!r}"
+        )
+    return prio
+
+
+def vertex_ensemble_edges(
+    trees: Sequence["SOSPTree"],
+    v: int,
+    weighting: str = "balanced",
+    prio=None,
+) -> List[Tuple[int, int, float]]:
+    """The combined-graph in-edges of vertex ``v``: compare ``v``'s
+    parents across all trees (the paper's per-vertex task, §4) and
+    weigh each distinct parent edge by the scheme.
+
+    ``prio`` is the pre-validated priorities array from
+    :func:`resolve_weighting` (``None`` for balanced/unit).
+    """
+    k = len(trees)
+    found: Dict[int, Tuple[int, float]] = {}
+    for i in range(k):
+        t = trees[i]
+        p = int(t.parent[v])
+        if p == NO_PARENT or not np.isfinite(t.dist[v]):
+            continue
+        pw = (1.0 / prio[i]) if prio is not None else 0.0
+        if p in found:
+            count, best = found[p]
+            found[p] = (count + 1, min(best, pw))
+        else:
+            found[p] = (1, pw)
+    out: List[Tuple[int, int, float]] = []
+    for p, (cnt, pw) in found.items():
+        if weighting == "balanced":
+            w = float(k - cnt + 1)
+        elif weighting == "unit":
+            w = 1.0
+        else:
+            w = pw
+        out.append((p, v, w))
+    return out
+
+
+@dataclass
+class EnsembleGraph:
+    """The combined graph plus its bookkeeping.
+
+    Attributes
+    ----------
+    csr:
+        Single-objective :class:`~repro.graph.csr.CSRGraph` over the
+        original vertex set, containing every SOSP-tree edge once with
+        its scheme weight.
+    occurrences:
+        ``{(u, v): x}`` — how many trees contain each edge (the ``x``
+        of the ``k − x + 1`` formula), kept for tests and ablations.
+    num_trees:
+        ``k``, the number of trees merged.
+    """
+
+    csr: CSRGraph
+    occurrences: Dict[Tuple[int, int], int]
+    num_trees: int
+
+
+def build_ensemble(
+    trees: Sequence[SOSPTree],
+    engine: Optional[Engine] = None,
+    weighting: str = "balanced",
+    priorities: Optional[Sequence[float]] = None,
+) -> EnsembleGraph:
+    """Merge the per-objective SOSP trees into the combined graph.
+
+    Parameters
+    ----------
+    trees:
+        The ``k`` updated SOSP trees (same source, same vertex count).
+    engine:
+        Execution engine; the per-vertex parent comparison is one
+        parallel superstep (one task per vertex), as in the paper's
+        OpenMP custom-reduction implementation.
+    weighting:
+        ``"balanced"`` | ``"priority"`` | ``"unit"`` (see module
+        docstring).
+    priorities:
+        Required for ``"priority"``: positive per-objective priorities;
+        higher priority ⇒ lower ensemble weight ⇒ more likely chosen.
+
+    Returns
+    -------
+    :class:`EnsembleGraph`
+    """
+    if not trees:
+        raise AlgorithmError("need at least one SOSP tree")
+    k = len(trees)
+    n = trees[0].num_vertices
+    source = trees[0].source
+    for t in trees:
+        if t.num_vertices != n:
+            raise AlgorithmError("trees span different vertex counts")
+        if t.source != source:
+            raise AlgorithmError(
+                f"trees have different sources ({t.source} != {source})"
+            )
+    prio = resolve_weighting(weighting, priorities, k)
+    eng = resolve_engine(engine)
+
+    per_vertex = eng.parallel_for(
+        list(range(n)),
+        lambda v: vertex_ensemble_edges(trees, v, weighting, prio),
+        work_fn=lambda v, r: k,
+    )
+
+    src: List[int] = []
+    dst: List[int] = []
+    w: List[float] = []
+    occurrences: Dict[Tuple[int, int], int] = {}
+    for rows in per_vertex:
+        for p, v, weight in rows:
+            # recover the occurrence count from the balanced formula
+            # independently of the active scheme
+            cnt = sum(
+                1 for t in trees
+                if int(t.parent[v]) == p and np.isfinite(t.dist[v])
+            )
+            occurrences[(p, v)] = cnt
+            src.append(p)
+            dst.append(v)
+            w.append(weight)
+    eng.charge(len(src))
+
+    csr = CSRGraph(
+        n,
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        np.asarray(w, dtype=DIST_DTYPE).reshape(-1, 1),
+    )
+    return EnsembleGraph(csr=csr, occurrences=occurrences, num_trees=k)

@@ -1,0 +1,33 @@
+"""Dynamic-network machinery: change batches, generators, streams, workloads.
+
+The paper's experimental setup "randomly generates batches of changed
+edges" (§4) over static base networks.  This package provides:
+
+- :class:`~repro.dynamic.changes.ChangeBatch` — a batch of edge
+  insertions/deletions, the ``ΔE`` object of the paper (each record
+  stores endpoints, a weight vector, and an insert/delete flag,
+  mirroring the paper's changed-edge structure).
+- :mod:`~repro.dynamic.batch_gen` — seeded random batch generators.
+- :class:`~repro.dynamic.stream.ChangeStream` — a multi-timestep
+  sequence of batches (the evolving network ``G_t → G_{t+1} → …``).
+- :mod:`~repro.dynamic.workloads` — named application scenarios (road
+  traffic, WSN, drone delivery) used by examples and benchmarks.
+"""
+
+from repro.dynamic.batch_gen import (
+    local_insert_batch,
+    random_delete_batch,
+    random_insert_batch,
+    random_mixed_batch,
+)
+from repro.dynamic.changes import ChangeBatch
+from repro.dynamic.stream import ChangeStream
+
+__all__ = [
+    "ChangeBatch",
+    "ChangeStream",
+    "random_insert_batch",
+    "local_insert_batch",
+    "random_delete_batch",
+    "random_mixed_batch",
+]

@@ -1,0 +1,164 @@
+"""Random change-batch generators (the paper's dynamic workload).
+
+"To make our datasets dynamic in our experiment, we randomly generate
+batches of changed edges" (§4).  Endpoints are uniform over the vertex
+set; insertion weights come from the same distribution as the base
+graph's weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BatchError
+from repro.dynamic.changes import ChangeBatch
+from repro.graph.digraph import DiGraph
+from repro.types import DIST_DTYPE, VERTEX_DTYPE
+
+__all__ = [
+    "random_insert_batch",
+    "local_insert_batch",
+    "random_delete_batch",
+    "random_mixed_batch",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_insert_batch(
+    g: DiGraph,
+    size: int,
+    seed=0,
+    low: float = 1.0,
+    high: float = 10.0,
+    allow_self_loops: bool = False,
+) -> ChangeBatch:
+    """``size`` random edge insertions with uniform endpoints/weights.
+
+    Mirrors the paper's ΔE generation.  Self-loops are resampled away
+    by default (they can never improve a shortest path).
+    """
+    if size < 0:
+        raise BatchError("batch size must be >= 0")
+    n = g.num_vertices
+    if n < 1 or (n < 2 and not allow_self_loops):
+        raise BatchError("graph too small to generate insertions")
+    rng = _rng(seed)
+    src = rng.integers(0, n, size=size, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, n, size=size, dtype=VERTEX_DTYPE)
+    if not allow_self_loops:
+        loops = src == dst
+        while loops.any():
+            dst[loops] = rng.integers(0, n, size=int(loops.sum()),
+                                      dtype=VERTEX_DTYPE)
+            loops = src == dst
+    weights = rng.uniform(low, high,
+                          size=(size, g.num_objectives)).astype(DIST_DTYPE)
+    return ChangeBatch(src, dst, weights, np.ones(size, bool))
+
+
+def local_insert_batch(
+    g: DiGraph,
+    size: int,
+    hops: int = 3,
+    seed=0,
+    low: float = 1.0,
+    high: float = 10.0,
+) -> ChangeBatch:
+    """``size`` insertions whose endpoints are a short walk apart.
+
+    Each record picks a random tail ``u`` and sets the head ``v`` to
+    the endpoint of a random out-walk of up to ``hops`` steps from
+    ``u`` — the "new local street" model of road-network growth, as
+    opposed to the global teleports of :func:`random_insert_batch`.
+    Local insertions can shortcut at most ``hops`` hops, so their
+    affected regions stay small; the update-vs-recompute benchmark
+    contrasts the two regimes.
+
+    Tails with no outgoing walk are resampled; a graph with no edges
+    raises :class:`BatchError`.
+    """
+    if size < 0:
+        raise BatchError("batch size must be >= 0")
+    if g.num_edges == 0:
+        raise BatchError("local_insert_batch needs a graph with edges")
+    if hops < 1:
+        raise BatchError("hops must be >= 1")
+    rng = _rng(seed)
+    n = g.num_vertices
+    src, dst = [], []
+    attempts = 0
+    while len(src) < size:
+        attempts += 1
+        if attempts > 100 * (size + 1):
+            raise BatchError(
+                "could not find enough local pairs; graph too disconnected"
+            )
+        u = int(rng.integers(0, n))
+        v = u
+        for _ in range(int(rng.integers(1, hops + 1))):
+            nbrs = [w for w, _ in g.out_edges(v)]
+            if not nbrs:
+                break
+            v = nbrs[int(rng.integers(0, len(nbrs)))]
+        if v == u:
+            continue
+        src.append(u)
+        dst.append(v)
+    weights = rng.uniform(low, high,
+                          size=(size, g.num_objectives)).astype(DIST_DTYPE)
+    return ChangeBatch(src, dst, weights, np.ones(size, bool))
+
+
+def random_delete_batch(g: DiGraph, size: int, seed=0) -> ChangeBatch:
+    """``size`` deletion records drawn from the graph's live edges.
+
+    Sampling is without replacement when possible; asking for more
+    deletions than live edges raises :class:`BatchError`.
+    """
+    if size < 0:
+        raise BatchError("batch size must be >= 0")
+    edges = [(u, v) for u, v, _ in g.edges()]
+    if size > len(edges):
+        raise BatchError(
+            f"cannot delete {size} edges from a graph with {len(edges)}"
+        )
+    rng = _rng(seed)
+    idx = rng.choice(len(edges), size=size, replace=False) if size else []
+    return ChangeBatch.deletions([edges[i] for i in idx],
+                                 k=g.num_objectives)
+
+
+def random_mixed_batch(
+    g: DiGraph,
+    size: int,
+    insert_fraction: float = 0.75,
+    seed=0,
+    low: float = 1.0,
+    high: float = 10.0,
+) -> ChangeBatch:
+    """A shuffled mix of insertions and deletions.
+
+    ``insert_fraction`` of the records are insertions; the rest delete
+    existing edges (capped at the live edge count).  Used by the
+    fully-dynamic extension benchmarks.
+    """
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise BatchError("insert_fraction must be in [0, 1]")
+    rng = _rng(seed)
+    n_ins = int(round(size * insert_fraction))
+    n_del = min(size - n_ins, g.num_edges)
+    ins = random_insert_batch(g, n_ins, seed=rng, low=low, high=high)
+    dele = random_delete_batch(g, n_del, seed=rng)
+    combined = ChangeBatch.concat(ins, dele)
+    order = rng.permutation(combined.num_changes)
+    return ChangeBatch(
+        combined.src[order],
+        combined.dst[order],
+        combined.weights[order],
+        combined.insert_mask[order],
+    )

@@ -1,0 +1,212 @@
+"""Change batches: the ``ΔE`` of the paper.
+
+The paper stores changed edges as an array of structures, each holding
+"the endpoints of an edge, edge weight, and a flag to indicate
+insertion/deletion status" (§4).  :class:`ChangeBatch` is the
+structure-of-arrays equivalent: ``src``/``dst`` int64 arrays, an
+``(b, k)`` weight matrix, and a boolean ``insert_mask``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BatchError
+from repro.graph.digraph import DiGraph
+from repro.types import DIST_DTYPE, VERTEX_DTYPE, FloatArray, IntArray
+
+__all__ = ["ChangeBatch"]
+
+
+class ChangeBatch:
+    """A batch of edge changes applied between two time steps.
+
+    Parameters
+    ----------
+    src, dst:
+        Edge endpoints, int64 arrays of equal length ``b``.
+    weights:
+        ``(b, k)`` weight vectors (ignored for deletion records, kept
+        zero by the constructors).
+    insert_mask:
+        ``True`` for insertion records, ``False`` for deletions.
+
+    Examples
+    --------
+    >>> batch = ChangeBatch.insertions([(0, 1, (2.0,)), (1, 2, (3.0,))])
+    >>> batch.num_changes, batch.num_insertions, batch.num_deletions
+    (2, 2, 0)
+    """
+
+    __slots__ = ("src", "dst", "weights", "insert_mask")
+
+    def __init__(
+        self,
+        src: IntArray,
+        dst: IntArray,
+        weights: FloatArray,
+        insert_mask,
+    ) -> None:
+        self.src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+        self.dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+        self.weights = np.ascontiguousarray(weights, dtype=DIST_DTYPE)
+        if self.weights.ndim == 1:
+            self.weights = self.weights.reshape(-1, 1)
+        self.insert_mask = np.ascontiguousarray(insert_mask, dtype=bool)
+        b = self.src.shape[0]
+        if (
+            self.dst.shape[0] != b
+            or self.weights.shape[0] != b
+            or self.insert_mask.shape[0] != b
+        ):
+            raise BatchError(
+                f"batch arrays disagree on length: src={b}, "
+                f"dst={self.dst.shape[0]}, weights={self.weights.shape[0]}, "
+                f"mask={self.insert_mask.shape[0]}"
+            )
+        if b:
+            if self.src.min() < 0 or self.dst.min() < 0:
+                raise BatchError("negative vertex ids in batch")
+            ins_w = self.weights[self.insert_mask]
+            if ins_w.size and (
+                not np.all(np.isfinite(ins_w)) or np.any(ins_w < 0)
+            ):
+                raise BatchError("insertion weights must be finite and >= 0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def insertions(
+        cls, edges: Iterable[Tuple[int, int, Sequence[float]]]
+    ) -> "ChangeBatch":
+        """Build an insertion-only batch from ``(u, v, weight_vector)``
+        tuples (scalar weights accepted for ``k=1``)."""
+        rows = list(edges)
+        if not rows:
+            return cls(
+                np.empty(0, VERTEX_DTYPE),
+                np.empty(0, VERTEX_DTYPE),
+                np.empty((0, 1), DIST_DTYPE),
+                np.empty(0, bool),
+            )
+        src = [r[0] for r in rows]
+        dst = [r[1] for r in rows]
+        ws = [
+            [float(r[2])] if np.isscalar(r[2]) else list(r[2]) for r in rows
+        ]
+        arity = {len(w) for w in ws}
+        if len(arity) != 1:
+            raise BatchError(f"inconsistent weight arity in batch: {arity}")
+        return cls(src, dst, np.asarray(ws), np.ones(len(rows), bool))
+
+    @classmethod
+    def deletions(cls, pairs: Iterable[Tuple[int, int]], k: int = 1) -> "ChangeBatch":
+        """Build a deletion-only batch from ``(u, v)`` pairs."""
+        rows = list(pairs)
+        b = len(rows)
+        return cls(
+            [r[0] for r in rows] if rows else np.empty(0, VERTEX_DTYPE),
+            [r[1] for r in rows] if rows else np.empty(0, VERTEX_DTYPE),
+            np.zeros((b, k), DIST_DTYPE),
+            np.zeros(b, bool),
+        )
+
+    @classmethod
+    def concat(cls, *batches: "ChangeBatch") -> "ChangeBatch":
+        """Concatenate several batches (same ``k``) in order."""
+        if not batches:
+            raise BatchError("concat needs at least one batch")
+        ks = {b.num_objectives for b in batches}
+        if len(ks) != 1:
+            raise BatchError(f"cannot concat batches with k in {ks}")
+        return cls(
+            np.concatenate([b.src for b in batches]),
+            np.concatenate([b.dst for b in batches]),
+            np.vstack([b.weights for b in batches]),
+            np.concatenate([b.insert_mask for b in batches]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_changes(self) -> int:
+        """Total number of change records ``|ΔE|``."""
+        return int(self.src.shape[0])
+
+    @property
+    def num_insertions(self) -> int:
+        """Number of insertion records ``|Ins|``."""
+        return int(self.insert_mask.sum())
+
+    @property
+    def num_deletions(self) -> int:
+        """Number of deletion records ``|Del|``."""
+        return self.num_changes - self.num_insertions
+
+    @property
+    def num_objectives(self) -> int:
+        """Weight-vector arity ``k``."""
+        return int(self.weights.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_changes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChangeBatch(ins={self.num_insertions}, "
+            f"del={self.num_deletions}, k={self.num_objectives})"
+        )
+
+    # ------------------------------------------------------------------
+    def insert_records(self) -> Tuple[IntArray, IntArray, FloatArray]:
+        """``(src, dst, weights)`` restricted to insertion records."""
+        m = self.insert_mask
+        return self.src[m], self.dst[m], self.weights[m]
+
+    def delete_records(self) -> Tuple[IntArray, IntArray]:
+        """``(src, dst)`` restricted to deletion records."""
+        m = ~self.insert_mask
+        return self.src[m], self.dst[m]
+
+    def only_insertions(self) -> "ChangeBatch":
+        """The insertion-only sub-batch."""
+        m = self.insert_mask
+        return ChangeBatch(self.src[m], self.dst[m], self.weights[m],
+                           np.ones(int(m.sum()), bool))
+
+    def only_deletions(self) -> "ChangeBatch":
+        """The deletion-only sub-batch."""
+        m = ~self.insert_mask
+        return ChangeBatch(self.src[m], self.dst[m], self.weights[m],
+                           np.zeros(int(m.sum()), bool))
+
+    # ------------------------------------------------------------------
+    def apply_to(self, g: DiGraph) -> List[int]:
+        """Apply the batch to ``g`` in record order.
+
+        Insertions add edges (returning their edge ids); deletion
+        records remove one live matching edge each and are skipped with
+        no effect if no live edge matches (idempotent semantics for
+        randomly generated batches).
+        """
+        if self.num_changes and (
+            int(self.src.max(initial=0)) >= g.num_vertices
+            or int(self.dst.max(initial=0)) >= g.num_vertices
+        ):
+            raise BatchError(
+                "batch references vertices outside the graph; "
+                "grow the graph first with add_vertices()"
+            )
+        if self.num_insertions and self.num_objectives != g.num_objectives:
+            raise BatchError(
+                f"batch k={self.num_objectives} != graph k={g.num_objectives}"
+            )
+        eids: List[int] = []
+        for i in range(self.num_changes):
+            u, v = int(self.src[i]), int(self.dst[i])
+            if self.insert_mask[i]:
+                eids.append(g.add_edge(u, v, self.weights[i]))
+            else:
+                if g.has_edge(u, v):
+                    g.remove_edge(u, v)
+        return eids

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause
+while still distinguishing the failure class when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexError",
+    "EdgeError",
+    "WeightError",
+    "EngineError",
+    "OwnershipViolation",
+    "AlgorithmError",
+    "TreeInvariantError",
+    "NotReachableError",
+    "BatchError",
+    "IOFormatError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph-structure operation failed (bad topology or state)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid."""
+
+    def __init__(self, vertex: int, n: int, context: str = "") -> None:
+        msg = f"vertex {vertex} out of range [0, {n})"
+        if context:
+            msg = f"{context}: {msg}"
+        super().__init__(msg)
+        self.vertex = vertex
+        self.n = n
+
+
+class EdgeError(GraphError):
+    """An edge is missing, duplicated, or malformed."""
+
+
+class WeightError(GraphError):
+    """An edge weight (or weight vector) is invalid.
+
+    All algorithms in this package require finite, non-negative edge
+    weights; the number of objectives must be consistent across the
+    whole graph.
+    """
+
+
+class EngineError(ReproError):
+    """A parallel engine was misconfigured or misused."""
+
+
+class OwnershipViolation(EngineError):
+    """Two tasks wrote to the same vertex inside one superstep.
+
+    Raised only when ownership checking is enabled (debug mode); the
+    paper's grouping technique guarantees this never happens for
+    correct usage of :func:`repro.core.sosp_update.sosp_update`.
+    """
+
+    def __init__(self, vertex: int, first_task: int, second_task: int) -> None:
+        super().__init__(
+            f"vertex {vertex} written by task {first_task} and task "
+            f"{second_task} in the same superstep (race condition)"
+        )
+        self.vertex = vertex
+        self.first_task = first_task
+        self.second_task = second_task
+
+
+class AlgorithmError(ReproError):
+    """An algorithm received inputs violating its preconditions."""
+
+
+class TreeInvariantError(AlgorithmError):
+    """An SOSP tree failed certification against its graph."""
+
+
+class NotReachableError(AlgorithmError):
+    """A requested destination is not reachable from the source."""
+
+    def __init__(self, source: int, destination: int) -> None:
+        super().__init__(
+            f"vertex {destination} is not reachable from source {source}"
+        )
+        self.source = source
+        self.destination = destination
+
+
+class BatchError(ReproError):
+    """A change batch is malformed (bad endpoints, weights, or flags)."""
+
+
+class IOFormatError(ReproError):
+    """A graph file could not be parsed."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness configuration is invalid."""

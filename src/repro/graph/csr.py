@@ -1,0 +1,167 @@
+"""Immutable compressed sparse-row (CSR) snapshots of a digraph.
+
+The vectorised kernels (Bellman-Ford rounds, batched relaxation of
+affected frontiers) want cache-friendly contiguous arrays rather than
+the pointer-chasing adjacency of :class:`~repro.graph.digraph.DiGraph`.
+A :class:`CSRGraph` freezes a digraph into
+
+- forward CSR: ``indptr``/``indices``/``weights`` sorted by source, and
+- reverse CSR: the same edges sorted by destination, with ``edge_perm``
+  mapping reverse positions back to forward edge rows,
+
+so both "neighbours of u" and "predecessors of v" are O(degree) slices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, VertexError
+from repro.graph.digraph import DiGraph
+from repro.types import DIST_DTYPE, VERTEX_DTYPE, FloatArray, IntArray
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Frozen CSR snapshot with forward and reverse adjacency.
+
+    Attributes
+    ----------
+    n, m, k:
+        Vertex count, edge count, number of objectives.
+    indptr, indices:
+        Forward CSR: out-neighbours of ``u`` are
+        ``indices[indptr[u]:indptr[u+1]]``.
+    weights:
+        ``(m, k)`` float64, row ``i`` is the weight vector of forward
+        edge ``i`` (head ``indices[i]``, tail given by the row's CSR
+        bucket).
+    rev_indptr, rev_indices:
+        Reverse CSR: in-neighbours (predecessors) of ``v`` are
+        ``rev_indices[rev_indptr[v]:rev_indptr[v+1]]``.
+    edge_perm:
+        ``rev`` position → forward edge row, i.e. the weight of the
+        ``j``-th reverse edge is ``weights[edge_perm[j]]``.
+    src:
+        ``(m,)`` tail vertex of each forward edge row (the COO twin of
+        the forward CSR, kept because edge-centric kernels want it).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "k",
+        "indptr",
+        "indices",
+        "weights",
+        "src",
+        "rev_indptr",
+        "rev_indices",
+        "edge_perm",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        src: IntArray,
+        dst: IntArray,
+        weights: FloatArray,
+    ) -> None:
+        src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+        dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+        weights = np.ascontiguousarray(weights, dtype=DIST_DTYPE)
+        if weights.ndim == 1:
+            weights = weights.reshape(-1, 1)
+        m = src.shape[0]
+        if dst.shape[0] != m or weights.shape[0] != m:
+            raise GraphError("src/dst/weights length mismatch")
+        if m and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+            raise VertexError(int(max(src.max(initial=0), dst.max(initial=0))), n)
+
+        self.n = int(n)
+        self.m = int(m)
+        self.k = int(weights.shape[1])
+
+        # forward CSR: stable sort edges by src
+        order = np.argsort(src, kind="stable")
+        self.src = src[order]
+        self.indices = dst[order]
+        self.weights = weights[order]
+        self.indptr = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+        np.add.at(self.indptr, self.src + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+
+        # reverse CSR: sort forward rows by dst
+        rev_order = np.argsort(self.indices, kind="stable")
+        self.edge_perm = rev_order.astype(VERTEX_DTYPE)
+        self.rev_indices = self.src[rev_order]
+        rev_dst = self.indices[rev_order]
+        self.rev_indptr = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+        np.add.at(self.rev_indptr, rev_dst + 1, 1)
+        np.cumsum(self.rev_indptr, out=self.rev_indptr)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, g: DiGraph) -> "CSRGraph":
+        """Snapshot a :class:`DiGraph` (live edges only)."""
+        src, dst, w = g.edge_arrays()
+        return cls(g.num_vertices, src, dst, w)
+
+    # ------------------------------------------------------------------
+    def out_neighbors(self, u: int) -> IntArray:
+        """Array of out-neighbour ids of ``u`` (may contain repeats)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def out_weights(self, u: int, objective: int = 0) -> FloatArray:
+        """Weights (one objective) of ``u``'s out-edges, aligned with
+        :meth:`out_neighbors`."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1], objective]
+
+    def out_weight_vectors(self, u: int) -> FloatArray:
+        """``(deg, k)`` weight vectors of ``u``'s out-edges."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> IntArray:
+        """Array of predecessor ids of ``v``."""
+        return self.rev_indices[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+
+    def in_weights(self, v: int, objective: int = 0) -> FloatArray:
+        """Weights (one objective) of ``v``'s in-edges, aligned with
+        :meth:`in_neighbors`."""
+        rows = self.edge_perm[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+        return self.weights[rows, objective]
+
+    def in_weight_vectors(self, v: int) -> FloatArray:
+        """``(indeg, k)`` weight vectors of ``v``'s in-edges."""
+        rows = self.edge_perm[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+        return self.weights[rows]
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of ``v``."""
+        return int(self.rev_indptr[v + 1] - self.rev_indptr[v])
+
+    def edges(self) -> Iterator[Tuple[int, int, FloatArray]]:
+        """Yield ``(u, v, weight_vector)`` over all edges."""
+        for i in range(self.m):
+            yield int(self.src[i]), int(self.indices[i]), self.weights[i]
+
+    def average_degree(self) -> float:
+        """Mean out-degree ``m / n``."""
+        return self.m / self.n if self.n else 0.0
+
+    def to_digraph(self) -> DiGraph:
+        """Thaw back into a mutable :class:`DiGraph`."""
+        g = DiGraph(self.n, self.k)
+        for i in range(self.m):
+            g.add_edge(int(self.src[i]), int(self.indices[i]), self.weights[i])
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n}, m={self.m}, k={self.k})"

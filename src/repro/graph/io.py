@@ -1,0 +1,195 @@
+"""Graph readers and writers.
+
+Two formats:
+
+- **Edge list** — one edge per line: ``u v w1 [w2 ... wk]``; ``#``
+  comments allowed.  Our native interchange format.
+- **MatrixMarket coordinate** (``.mtx``) — the format used by the
+  network-repository collection the paper draws its datasets from
+  (road-usa, rgg-n-2-20-s0, roadNet-CA, roadNet-PA).  Reading an
+  unweighted/pattern ``.mtx`` yields a topology-only graph that can be
+  re-weighted with
+  :func:`repro.graph.multiweight.attach_random_weights`, exactly
+  mirroring the paper's dataset preparation.
+
+MatrixMarket indices are 1-based; we convert to 0-based.  ``symmetric``
+matrices expand each entry into both directed edges.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.errors import IOFormatError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open_for_read(source: Union[PathLike, TextIO]):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: Union[PathLike, TextIO]):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def write_edge_list(g: DiGraph, target: Union[PathLike, TextIO]) -> None:
+    """Write ``g`` as ``u v w1 ... wk`` lines with a header comment."""
+    fh, close = _open_for_write(target)
+    try:
+        fh.write(f"# repro edge list n={g.num_vertices} k={g.num_objectives}\n")
+        for u, v, eid in g.edges():
+            ws = " ".join(repr(float(x)) for x in g.weight(eid))
+            fh.write(f"{u} {v} {ws}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_edge_list(source: Union[PathLike, TextIO]) -> DiGraph:
+    """Read an edge list written by :func:`write_edge_list`.
+
+    The ``n=``/``k=`` header is honoured when present; otherwise ``n``
+    is inferred as ``max id + 1`` and ``k`` from the first data line.
+    """
+    fh, close = _open_for_read(source)
+    try:
+        n_hint = None
+        k_hint = None
+        rows: List[List[float]] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("n="):
+                        n_hint = int(token[2:])
+                    elif token.startswith("k="):
+                        k_hint = int(token[2:])
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise IOFormatError(
+                    f"line {lineno}: expected 'u v w1 [..wk]', got {line!r}"
+                )
+            try:
+                rows.append([float(x) for x in parts])
+            except ValueError as exc:
+                raise IOFormatError(f"line {lineno}: {exc}") from exc
+        if not rows:
+            return DiGraph(n_hint or 0, k_hint or 1)
+        k = k_hint if k_hint is not None else len(rows[0]) - 2
+        if k < 1:
+            raise IOFormatError("edge lines carry no weight columns")
+        max_id = int(max(max(r[0], r[1]) for r in rows))
+        n = n_hint if n_hint is not None else max_id + 1
+        g = DiGraph(n, k)
+        for r in rows:
+            if len(r) - 2 != k:
+                raise IOFormatError(
+                    f"inconsistent weight arity: expected {k}, got {len(r) - 2}"
+                )
+            g.add_edge(int(r[0]), int(r[1]), r[2:])
+        return g
+    finally:
+        if close:
+            fh.close()
+
+
+def read_matrix_market(
+    source: Union[PathLike, TextIO],
+    k: int = 1,
+    default_weight: float = 1.0,
+) -> DiGraph:
+    """Read a MatrixMarket coordinate file as a digraph.
+
+    ``pattern`` matrices (the usual case for network-repository
+    topologies) get ``default_weight`` replicated over ``k``
+    objectives; ``real``/``integer`` matrices use the stored value for
+    every objective.  ``symmetric``/``skew-symmetric`` storage is
+    expanded into both edge directions.
+    """
+    fh, close = _open_for_read(source)
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise IOFormatError("missing %%MatrixMarket header")
+        tokens = header.lower().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise IOFormatError(f"unsupported MatrixMarket header: {header!r}")
+        field = tokens[3]  # real | integer | pattern | complex
+        symmetry = tokens[4]  # general | symmetric | skew-symmetric
+        if field == "complex":
+            raise IOFormatError("complex matrices are not graphs we support")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(x) for x in line.split()[:3])
+        except (ValueError, IndexError) as exc:
+            raise IOFormatError(f"bad size line: {line!r}") from exc
+        n = max(nrows, ncols)
+        g = DiGraph(n, k)
+        seen = 0
+        for raw in fh:
+            raw = raw.strip()
+            if not raw or raw.startswith("%"):
+                continue
+            parts = raw.split()
+            u = int(parts[0]) - 1
+            v = int(parts[1]) - 1
+            if field == "pattern":
+                w = default_weight
+            else:
+                w = abs(float(parts[2])) if len(parts) > 2 else default_weight
+                if w == 0.0:
+                    w = default_weight
+            wv = [w] * k
+            g.add_edge(u, v, wv)
+            if symmetry in ("symmetric", "skew-symmetric") and u != v:
+                g.add_edge(v, u, wv)
+            seen += 1
+        if seen != nnz:
+            raise IOFormatError(f"expected {nnz} entries, found {seen}")
+        return g
+    finally:
+        if close:
+            fh.close()
+
+
+def write_matrix_market(g: DiGraph, target: Union[PathLike, TextIO],
+                        objective: int = 0) -> None:
+    """Write one objective of ``g`` as a general real coordinate matrix."""
+    fh, close = _open_for_write(target)
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{g.num_vertices} {g.num_vertices} {g.num_edges}\n")
+        for u, v, eid in g.edges():
+            fh.write(f"{u + 1} {v + 1} {g.weight_scalar(eid, objective)!r}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def edge_list_to_string(g: DiGraph) -> str:
+    """Render ``g`` as an edge-list string (round-trips via
+    :func:`read_edge_list`)."""
+    buf = io.StringIO()
+    write_edge_list(g, buf)
+    return buf.getvalue()

@@ -1,0 +1,102 @@
+"""Structural validation of graphs and weight matrices.
+
+These checks are the preconditions of every algorithm in the package:
+finite non-negative weights, consistent objective arity, in/out
+adjacency that mirror each other.  They run in O(n + m) and are cheap
+enough to call in tests and debug builds; library code trusts its
+inputs after construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, WeightError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+
+__all__ = ["validate_digraph", "validate_csr", "check_weights"]
+
+
+def check_weights(weights: np.ndarray, k: int) -> None:
+    """Raise :class:`WeightError` unless ``weights`` is a valid
+    ``(m, k)`` matrix of finite non-negative floats."""
+    w = np.asarray(weights)
+    if w.ndim != 2 or w.shape[1] != k:
+        raise WeightError(
+            f"weights must have shape (m, {k}); got {w.shape}"
+        )
+    if w.size and not np.all(np.isfinite(w)):
+        raise WeightError("weights contain non-finite values")
+    if w.size and np.any(w < 0):
+        raise WeightError("weights contain negative values")
+
+
+def validate_digraph(g: DiGraph) -> None:
+    """Full structural audit of a :class:`DiGraph`.
+
+    Checks endpoint ranges, in/out adjacency consistency (each live
+    edge appears exactly once in both lists), live-edge count, and
+    weight validity.  Raises :class:`GraphError`/:class:`WeightError`
+    on the first violation.
+    """
+    n = g.num_vertices
+    seen_out = 0
+    for u in range(n):
+        for v, eid in g.out_edges(u):
+            su, sv = g.edge_endpoints(eid)
+            if su != u or sv != v:
+                raise GraphError(
+                    f"out adjacency of {u} lists edge {eid} with endpoints "
+                    f"({su}, {sv})"
+                )
+            seen_out += 1
+    seen_in = 0
+    for v in range(n):
+        for u, eid in g.in_edges(v):
+            su, sv = g.edge_endpoints(eid)
+            if su != u or sv != v:
+                raise GraphError(
+                    f"in adjacency of {v} lists edge {eid} with endpoints "
+                    f"({su}, {sv})"
+                )
+            seen_in += 1
+    if seen_out != g.num_edges or seen_in != g.num_edges:
+        raise GraphError(
+            f"adjacency/live-edge mismatch: out={seen_out} in={seen_in} "
+            f"m={g.num_edges}"
+        )
+    _, _, w = g.edge_arrays()
+    check_weights(w, g.num_objectives)
+
+
+def validate_csr(csr: CSRGraph) -> None:
+    """Audit a :class:`CSRGraph`: monotone indptr, consistent reverse
+    adjacency, in-range indices, valid weights."""
+    if csr.indptr[0] != 0 or csr.indptr[-1] != csr.m:
+        raise GraphError("forward indptr endpoints wrong")
+    if np.any(np.diff(csr.indptr) < 0):
+        raise GraphError("forward indptr not monotone")
+    if csr.rev_indptr[0] != 0 or csr.rev_indptr[-1] != csr.m:
+        raise GraphError("reverse indptr endpoints wrong")
+    if np.any(np.diff(csr.rev_indptr) < 0):
+        raise GraphError("reverse indptr not monotone")
+    if csr.m:
+        if csr.indices.min() < 0 or csr.indices.max() >= csr.n:
+            raise GraphError("forward indices out of range")
+        if csr.rev_indices.min() < 0 or csr.rev_indices.max() >= csr.n:
+            raise GraphError("reverse indices out of range")
+    # forward and reverse must contain the same multiset of edges
+    fwd = sorted(zip(csr.src.tolist(), csr.indices.tolist()))
+    rev_dst = np.repeat(
+        np.arange(csr.n), np.diff(csr.rev_indptr).astype(np.int64)
+    )
+    rev = sorted(zip(csr.rev_indices.tolist(), rev_dst.tolist()))
+    if fwd != rev:
+        raise GraphError("forward and reverse CSR disagree on edge multiset")
+    # edge_perm must map reverse rows onto matching forward rows
+    for j in range(csr.m):
+        row = int(csr.edge_perm[j])
+        if csr.src[row] != csr.rev_indices[j]:
+            raise GraphError(f"edge_perm[{j}] maps to a different tail vertex")
+    check_weights(csr.weights, csr.k)

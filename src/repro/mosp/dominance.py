@@ -1,0 +1,107 @@
+"""Pareto dominance (the paper's Equations 1–2) in vectorised form.
+
+A distance vector ``d_i`` *dominates* ``d_j`` (written ``d_i < d_j`` in
+the paper) iff ``d_i`` is strictly smaller in at least one component
+and no larger in every other.  A dominated vector is eliminated from a
+Pareto-optimal distance set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import DIST_DTYPE, FloatArray
+
+__all__ = [
+    "dominates",
+    "dominates_or_equal",
+    "is_dominated_by_any",
+    "pareto_filter",
+]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """``True`` iff ``a`` Pareto-dominates ``b``.
+
+    Implements Equations (1)–(2): strictly better in at least one
+    objective (Eq. 1) and no worse in all others (Eq. 2).
+
+    Examples
+    --------
+    >>> dominates((1, 2), (2, 2))
+    True
+    >>> dominates((1, 2), (1, 2))
+    False
+    >>> dominates((1, 3), (2, 2))
+    False
+    """
+    a = np.asarray(a, dtype=DIST_DTYPE)
+    b = np.asarray(b, dtype=DIST_DTYPE)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def dominates_or_equal(a: Sequence[float], b: Sequence[float]) -> bool:
+    """``True`` iff ``a`` dominates or equals ``b`` (weak dominance)."""
+    a = np.asarray(a, dtype=DIST_DTYPE)
+    b = np.asarray(b, dtype=DIST_DTYPE)
+    return bool(np.all(a <= b))
+
+
+def is_dominated_by_any(point: Sequence[float], front: FloatArray) -> bool:
+    """``True`` iff some row of ``front`` dominates ``point``.
+
+    ``front`` is an ``(m, k)`` array; an empty front dominates nothing.
+    """
+    front = np.asarray(front, dtype=DIST_DTYPE)
+    if front.size == 0:
+        return False
+    p = np.asarray(point, dtype=DIST_DTYPE)
+    le = np.all(front <= p, axis=1)
+    lt = np.any(front < p, axis=1)
+    return bool(np.any(le & lt))
+
+
+def pareto_filter(points: FloatArray, return_mask: bool = False):
+    """Rows of ``points`` that are not dominated by any other row.
+
+    Exact duplicates are kept once.  ``(m, k)`` input; returns the
+    filtered array (and the boolean keep-mask when ``return_mask``).
+
+    The implementation sorts lexicographically and sweeps, testing each
+    candidate only against already-accepted rows — O(m·f) with ``f``
+    the front size, much better than the naive O(m²) when fronts are
+    small (the common case).
+    """
+    pts = np.asarray(points, dtype=DIST_DTYPE)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    m = pts.shape[0]
+    keep = np.zeros(m, dtype=bool)
+    if m == 0:
+        filtered = pts
+        return (filtered, keep) if return_mask else filtered
+
+    # lexicographic sort: any dominator of row r sorts before r, so a
+    # single forward sweep against the accepted set is complete
+    order = np.lexsort(pts.T[::-1])
+    accepted: list = []
+    accepted_arr = np.empty((0, pts.shape[1]), dtype=DIST_DTYPE)
+    seen = set()
+    for idx in order:
+        p = pts[idx]
+        key = p.tobytes()
+        if key in seen:
+            continue  # duplicate of an accepted row
+        if accepted_arr.shape[0]:
+            le = np.all(accepted_arr <= p, axis=1)
+            lt = np.any(accepted_arr < p, axis=1)
+            if np.any(le & lt):
+                continue
+        accepted.append(idx)
+        seen.add(key)
+        accepted_arr = np.vstack([accepted_arr, p[None, :]])
+    keep[accepted] = True
+    filtered = pts[np.sort(accepted)]
+    return (filtered, keep) if return_mask else filtered

@@ -1,0 +1,131 @@
+"""Pareto labels and per-vertex label sets.
+
+The paper's §2.1 writes a vertex's Pareto-optimal state as
+``(v, l) = {p1: {d1, ...}, p2: {...}}`` — a set of incomparable
+distance vectors, each remembering the parent it came through.
+:class:`Label` is one such entry (plus a back-pointer for path
+reconstruction); :class:`LabelSet` maintains the Pareto-incomparable
+invariant under insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mosp.dominance import dominates_or_equal
+from repro.types import DIST_DTYPE, FloatArray
+
+__all__ = ["Label", "LabelSet"]
+
+
+@dataclass(frozen=True)
+class Label:
+    """One Pareto-optimal distance entry of a vertex.
+
+    Attributes
+    ----------
+    vertex:
+        The vertex this label belongs to.
+    dist:
+        Length-``k`` distance vector from the source.
+    parent:
+        Predecessor vertex on the path (``-1`` at the source).
+    parent_label:
+        The predecessor's :class:`Label` this one extends (``None`` at
+        the source) — following these pointers reconstructs the path.
+    children:
+        Labels that extend this one (maintained by consumers that need
+        descendant invalidation, e.g. the fully dynamic front; plain
+        enumeration leaves it empty).  Mutable by design — the
+        dataclass is frozen on identity fields only.
+    """
+
+    vertex: int
+    dist: Tuple[float, ...]
+    parent: int = -1
+    parent_label: Optional["Label"] = field(default=None, repr=False, compare=False)
+    children: list = field(default_factory=list, repr=False, compare=False)
+
+    def path(self) -> List[int]:
+        """Reconstruct the source→vertex path of this label."""
+        out: List[int] = []
+        lab: Optional[Label] = self
+        while lab is not None:
+            out.append(lab.vertex)
+            lab = lab.parent_label
+        out.reverse()
+        return out
+
+    def dist_array(self) -> FloatArray:
+        """The distance vector as a numpy array."""
+        return np.asarray(self.dist, dtype=DIST_DTYPE)
+
+
+class LabelSet:
+    """The mutually incomparable labels of one vertex.
+
+    :meth:`insert` keeps the set Pareto-optimal: a candidate weakly
+    dominated by an existing label is rejected; on acceptance every
+    existing label the candidate dominates is evicted.
+
+    Examples
+    --------
+    >>> s = LabelSet()
+    >>> s.insert(Label(3, (2.0, 5.0)))
+    True
+    >>> s.insert(Label(3, (3.0, 6.0)))   # dominated
+    False
+    >>> s.insert(Label(3, (5.0, 1.0)))   # incomparable
+    True
+    >>> len(s)
+    2
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self) -> None:
+        self.labels: List[Label] = []
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self):
+        return iter(self.labels)
+
+    def insert(self, candidate: Label) -> bool:
+        """Insert ``candidate`` if not weakly dominated; evict what it
+        dominates.  Returns whether the candidate was inserted."""
+        cd = candidate.dist
+        for lab in self.labels:
+            if dominates_or_equal(lab.dist, cd):
+                return False
+        self.labels = [
+            lab for lab in self.labels if not dominates_or_equal(cd, lab.dist)
+        ]
+        self.labels.append(candidate)
+        return True
+
+    def remove(self, label: Label) -> bool:
+        """Remove ``label`` (by identity) from the set; returns whether
+        it was present.  Used by the fully dynamic front when an edge
+        deletion invalidates stored labels."""
+        for i, lab in enumerate(self.labels):
+            if lab is label:
+                del self.labels[i]
+                return True
+        return False
+
+    def would_accept(self, dist: Tuple[float, ...]) -> bool:
+        """Whether a label with this distance vector would be inserted."""
+        return not any(
+            dominates_or_equal(lab.dist, dist) for lab in self.labels
+        )
+
+    def front(self) -> FloatArray:
+        """``(f, k)`` array of the current Pareto-optimal distances."""
+        if not self.labels:
+            return np.empty((0, 0), dtype=DIST_DTYPE)
+        return np.asarray([lab.dist for lab in self.labels], dtype=DIST_DTYPE)

@@ -1,0 +1,93 @@
+"""Weighted-sum scalarisation baseline.
+
+The folk baseline for "give me one reasonable multi-objective path":
+collapse the weight vector with a convex combination
+``w·λ  (λ ≥ 0, Σλ = 1)`` and run a single-objective Dijkstra.  Every
+path optimal for some λ is Pareto optimal (supported solutions), but
+scalarisation cannot reach non-supported Pareto points — one of the
+reasons the paper's ensemble heuristic is interesting.  The ablation
+benchmark compares both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AlgorithmError, NotReachableError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.sssp.dijkstra import dijkstra
+from repro.types import DIST_DTYPE, NO_PARENT, FloatArray
+
+__all__ = ["weighted_sum_path"]
+
+
+def weighted_sum_path(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    destination: int,
+    lambdas: Optional[Sequence[float]] = None,
+) -> Tuple[List[int], FloatArray]:
+    """One Pareto-optimal path by scalarising the objectives.
+
+    Parameters
+    ----------
+    graph:
+        Multi-objective graph.
+    source, destination:
+        Path endpoints.
+    lambdas:
+        Convex-combination coefficients (``None`` = uniform).  Must be
+        non-negative with a positive sum; they are normalised.
+
+    Returns
+    -------
+    (path, cost):
+        The vertex path and its true ``k``-vector cost.
+
+    Raises
+    ------
+    NotReachableError
+        When no source→destination path exists.
+    """
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    k = csr.k
+    if lambdas is None:
+        lam = np.full(k, 1.0 / k, dtype=DIST_DTYPE)
+    else:
+        lam = np.asarray(lambdas, dtype=DIST_DTYPE)
+        if lam.shape != (k,):
+            raise AlgorithmError(f"lambdas must have length {k}")
+        if np.any(lam < 0) or lam.sum() <= 0:
+            raise AlgorithmError("lambdas must be non-negative, sum > 0")
+        lam = lam / lam.sum()
+
+    scalar = CSRGraph(
+        csr.n, csr.src.copy(), csr.indices.copy(), csr.weights @ lam
+    )
+    dist, parent = dijkstra(scalar, source)
+    if not np.isfinite(dist[destination]):
+        raise NotReachableError(source, destination)
+
+    # walk parents back to the source
+    path = [destination]
+    while path[-1] != source:
+        p = int(parent[path[-1]])
+        if p == NO_PARENT:
+            raise NotReachableError(source, destination)
+        path.append(p)
+    path.reverse()
+
+    # true multi-objective cost: per hop, the cheapest (under λ) edge
+    cost = np.zeros(k, dtype=DIST_DTYPE)
+    for u, v in zip(path, path[1:]):
+        nbrs = csr.out_neighbors(u)
+        wv = csr.out_weight_vectors(u)
+        mask = nbrs == v
+        if not mask.any():
+            raise AlgorithmError(f"path edge ({u}, {v}) vanished")
+        scalarised = wv[mask] @ lam
+        cost += wv[mask][int(np.argmin(scalarised))]
+    return path, cost

@@ -1,0 +1,59 @@
+"""Parallel runtime substrate: pluggable execution engines.
+
+The paper's implementation is C++/OpenMP on a dual 32-core EPYC.  In
+CPython the GIL (and, in this reproduction environment, a single CPU
+core) rules out *measuring* real shared-memory speedups, so the
+algorithms in :mod:`repro.core` are written against an engine
+abstraction with four interchangeable backends:
+
+========================  =====================================================
+:class:`SerialEngine`     plain loop; the baseline and the reference semantics
+:class:`ThreadEngine`     a real ``ThreadPoolExecutor`` pool with OpenMP-style
+                          dynamic chunk scheduling — the faithful structural
+                          port of the paper's implementation (races and all,
+                          were it not for vertex ownership)
+:class:`ProcessEngine`    ``multiprocessing`` pool for embarrassingly parallel
+                          stages (e.g. independent per-objective tree updates,
+                          the hybrid parallelism of the paper's future work)
+:class:`SimulatedEngine`  a deterministic work-span machine model: the same
+                          task graph is executed once, each task is charged
+                          its reported work, and tasks are scheduled over
+                          ``T`` virtual threads with dynamic chunking; the
+                          makespan (plus barrier/scheduling overheads) is the
+                          *virtual* wall time.  Thread-count sweeps over this
+                          engine regenerate the paper's scalability figures
+                          deterministically.
+========================  =====================================================
+
+All engines implement the :class:`~repro.parallel.api.Engine` protocol:
+``parallel_for`` (one superstep: independent tasks + implicit barrier),
+``map_reduce``, and ``charge`` (account serial work to the virtual
+clock; a no-op outside the simulated engine).
+"""
+
+from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.atomics import OwnershipTracker
+from repro.parallel.backends.processes import ProcessEngine
+from repro.parallel.backends.serial import SerialEngine
+from repro.parallel.backends.simulated import (
+    CostModel,
+    SimulatedEngine,
+    dynamic_makespan,
+    replay_trace,
+)
+from repro.parallel.backends.threads import ThreadEngine
+from repro.parallel.cost import WorkMeter
+
+__all__ = [
+    "Engine",
+    "resolve_engine",
+    "SerialEngine",
+    "ThreadEngine",
+    "ProcessEngine",
+    "SimulatedEngine",
+    "CostModel",
+    "dynamic_makespan",
+    "replay_trace",
+    "WorkMeter",
+    "OwnershipTracker",
+]

@@ -1,0 +1,128 @@
+"""The :class:`Engine` protocol and engine resolution.
+
+An *engine* executes supersteps.  One call to
+:meth:`Engine.parallel_for` is one superstep: a set of independent
+tasks followed by an implicit barrier, exactly the structure of the
+``parallel for`` loops in the paper's Algorithms 1–2.  Tasks inside a
+superstep must not depend on each other's writes; the vertex-grouping
+technique of the paper guarantees this for the shortest-path kernels.
+
+Work accounting
+---------------
+The simulated backend needs to know how much work each task performed
+to compute a makespan.  Task functions therefore may return a tuple
+``(value, work_units)`` when called under an engine whose
+``wants_work`` is true; the convention is mediated by
+:func:`repro.parallel.cost.WorkMeter` so algorithm code stays tidy.
+The simpler path used throughout :mod:`repro.core`: pass
+``work_fn=lambda item, value: units`` to ``parallel_for`` and return
+plain values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.errors import EngineError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["Engine", "resolve_engine"]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Execution engine protocol (one ``parallel_for`` = one superstep)."""
+
+    #: Human-readable backend name (``"serial"``, ``"threads"``, ...).
+    name: str
+
+    #: Number of (real or virtual) threads.
+    threads: int
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item as one superstep; return results
+        in item order.
+
+        ``work_fn(item, result)`` (optional) reports the work units the
+        task consumed; only cost-model engines read it.
+        """
+        ...
+
+    def map_reduce(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        reduce_fn: Callable[[Any, R], Any],
+        init: Any,
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> Any:
+        """``parallel_for`` followed by a sequential fold of results."""
+        ...
+
+    def charge(self, units: float) -> None:
+        """Account ``units`` of *serial* work (virtual-clock engines only)."""
+        ...
+
+
+class BaseEngine:
+    """Shared plumbing for concrete engines."""
+
+    name = "base"
+
+    def __init__(self, threads: int = 1) -> None:
+        if threads < 1:
+            raise EngineError(f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+
+    def map_reduce(self, items, fn, reduce_fn, init, work_fn=None):
+        acc = init
+        for r in self.parallel_for(items, fn, work_fn=work_fn):
+            acc = reduce_fn(acc, r)
+        return acc
+
+    def charge(self, units: float) -> None:  # noqa: D401 - trivial
+        """No-op for wall-clock engines."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(threads={self.threads})"
+
+
+def resolve_engine(engine=None, threads: int = 1) -> Engine:
+    """Coerce ``engine`` into an :class:`Engine` instance.
+
+    Accepts an existing engine (returned unchanged), ``None`` (serial),
+    or a backend name ``"serial" | "threads" | "processes" |
+    "simulated"`` which is instantiated with ``threads``.
+    """
+    # imports deferred to avoid a cycle with backends importing BaseEngine
+    from repro.parallel.backends.processes import ProcessEngine
+    from repro.parallel.backends.serial import SerialEngine
+    from repro.parallel.backends.simulated import SimulatedEngine
+    from repro.parallel.backends.threads import ThreadEngine
+
+    if engine is None:
+        return SerialEngine()
+    if isinstance(engine, str):
+        table = {
+            "serial": SerialEngine,
+            "threads": ThreadEngine,
+            "processes": ProcessEngine,
+            "simulated": SimulatedEngine,
+        }
+        try:
+            cls = table[engine]
+        except KeyError:
+            raise EngineError(
+                f"unknown engine {engine!r}; expected one of {sorted(table)}"
+            ) from None
+        return cls(threads=threads) if cls is not SerialEngine else cls()
+    if isinstance(engine, Engine):
+        return engine
+    raise EngineError(f"cannot interpret {engine!r} as an engine")

@@ -1,0 +1,1 @@
+"""Concrete engine backends (serial, threads, processes, simulated)."""

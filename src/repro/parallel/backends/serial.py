@@ -1,0 +1,33 @@
+"""The serial engine: a plain loop, the reference semantics.
+
+Every other backend must produce results element-wise equal to this
+one (engines differ only in *how* the same independent tasks run).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.parallel.api import BaseEngine
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["SerialEngine"]
+
+
+class SerialEngine(BaseEngine):
+    """Run every superstep as a simple sequential loop."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(threads=1)
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        return [fn(item) for item in items]

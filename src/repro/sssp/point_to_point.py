@@ -1,0 +1,277 @@
+"""Point-to-point shortest-path substrates: bidirectional Dijkstra, ALT.
+
+The examples and applications mostly want one source→destination route
+(the paper's drone/road scenarios).  Running a full SSSP is wasteful on
+large networks, so this module provides the two classic accelerations:
+
+- :func:`bidirectional_dijkstra` — simultaneous forward/backward
+  searches meeting in the middle; explores ~2·√(area) of a road
+  network instead of the whole ball.
+- :class:`ALTIndex` / :func:`alt_search` — A* with the landmark/
+  triangle-inequality heuristic (Goldberg & Harrelson): preprocess
+  distances to/from a few landmarks; query-time lower bound
+  ``h(v) = max_L |d(L, t) − d(L, v)|`` (and the to-landmark twin).
+  Works on any non-negative digraph, no coordinates needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AlgorithmError, NotReachableError, VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.sssp.dijkstra import dijkstra
+from repro.types import INF, FloatArray
+
+__all__ = ["bidirectional_dijkstra", "ALTIndex", "alt_search"]
+
+
+def _to_csr(graph: Union[DiGraph, CSRGraph]) -> CSRGraph:
+    return graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+
+
+def _walk_parents(parents, source, v) -> List[int]:
+    path = [v]
+    while path[-1] != source:
+        p = parents.get(path[-1])
+        if p is None:
+            raise NotReachableError(source, v)
+        path.append(p)
+    path.reverse()
+    return path
+
+
+def bidirectional_dijkstra(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    destination: int,
+    objective: int = 0,
+) -> Tuple[List[int], float]:
+    """Shortest source→destination path by meeting in the middle.
+
+    Returns ``(path, distance)``; raises
+    :class:`~repro.errors.NotReachableError` when no path exists.
+
+    Examples
+    --------
+    >>> from repro.graph import DiGraph
+    >>> g = DiGraph.from_edge_list(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    >>> bidirectional_dijkstra(g, 0, 3)
+    ([0, 1, 2, 3], 3.0)
+    """
+    csr = _to_csr(graph)
+    n = csr.n
+    if not 0 <= source < n:
+        raise VertexError(source, n, "bidirectional source")
+    if not 0 <= destination < n:
+        raise VertexError(destination, n, "bidirectional destination")
+    if source == destination:
+        return [source], 0.0
+    w = csr.weights[:, objective]
+
+    # state per direction: dist map, parent map, heap, settled set
+    dist_f = {source: 0.0}
+    dist_b = {destination: 0.0}
+    par_f: dict = {}
+    par_b: dict = {}
+    heap_f = [(0.0, source)]
+    heap_b = [(0.0, destination)]
+    settled_f: set = set()
+    settled_b: set = set()
+
+    best = INF
+    meet = -1
+
+    def expand_forward():
+        nonlocal best, meet
+        d, u = heapq.heappop(heap_f)
+        if u in settled_f:
+            return
+        settled_f.add(u)
+        for e in range(csr.indptr[u], csr.indptr[u + 1]):
+            v = int(csr.indices[e])
+            nd = d + w[e]
+            if nd < dist_f.get(v, INF):
+                dist_f[v] = nd
+                par_f[v] = u
+                heapq.heappush(heap_f, (nd, v))
+            if v in dist_b and nd + dist_b[v] < best:
+                best = nd + dist_b[v]
+                meet = v
+
+    def expand_backward():
+        nonlocal best, meet
+        d, u = heapq.heappop(heap_b)
+        if u in settled_b:
+            return
+        settled_b.add(u)
+        for j in range(csr.rev_indptr[u], csr.rev_indptr[u + 1]):
+            v = int(csr.rev_indices[j])
+            e = int(csr.edge_perm[j])
+            nd = d + w[e]
+            if nd < dist_b.get(v, INF):
+                dist_b[v] = nd
+                par_b[v] = u
+                heapq.heappush(heap_b, (nd, v))
+            if v in dist_f and nd + dist_f[v] < best:
+                best = nd + dist_f[v]
+                meet = v
+
+    while heap_f and heap_b:
+        # classic termination: stop once the two radii exceed the best
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            expand_forward()
+        else:
+            expand_backward()
+
+    if meet < 0:
+        raise NotReachableError(source, destination)
+    fwd = _walk_parents(par_f, source, meet)
+    # walk the backward tree from meet to destination
+    back = [meet]
+    while back[-1] != destination:
+        back.append(par_b[back[-1]])
+    return fwd + back[1:], float(best)
+
+
+class ALTIndex:
+    """Landmark preprocessing for A* queries (the ALT method).
+
+    Parameters
+    ----------
+    graph:
+        The graph to index (snapshot — rebuild after heavy mutation).
+    num_landmarks:
+        How many landmarks to select.
+    objective:
+        Which objective the index covers.
+    seed:
+        Landmark selection seed (selection is farthest-point greedy
+        seeded by a random vertex).
+
+    Notes
+    -----
+    Stores ``2 · L · n`` floats: distances landmark→v (forward) and
+    v→landmark (via the reverse graph), giving the two triangle lower
+    bounds ``d(v, t) ≥ d(L, t) − d(L, v)`` and ``d(v, t) ≥ d(v, L) −
+    d(t, L)``.
+    """
+
+    def __init__(
+        self,
+        graph: Union[DiGraph, CSRGraph],
+        num_landmarks: int = 4,
+        objective: int = 0,
+        seed: int = 0,
+    ) -> None:
+        csr = _to_csr(graph)
+        if num_landmarks < 1:
+            raise AlgorithmError("need at least one landmark")
+        self.csr = csr
+        self.objective = objective
+        n = csr.n
+        rng = np.random.default_rng(seed)
+        rev = CSRGraph(
+            n, csr.indices.copy(), csr.src.copy(), csr.weights.copy()
+        )
+
+        landmarks: List[int] = [int(rng.integers(0, max(1, n)))]
+        fwd: List[FloatArray] = []  # d(L, v)
+        bwd: List[FloatArray] = []  # d(v, L)
+        for _ in range(num_landmarks):
+            L = landmarks[-1]
+            df, _p = dijkstra(csr, L, objective)
+            db, _p = dijkstra(rev, L, objective)
+            fwd.append(df)
+            bwd.append(db)
+            if len(landmarks) == num_landmarks:
+                break
+            # farthest-point selection on the forward metric
+            cand = np.where(np.isfinite(df), df, -1.0)
+            for existing in fwd:
+                cand = np.minimum(
+                    cand, np.where(np.isfinite(existing), existing, -1.0)
+                )
+            nxt = int(np.argmax(cand))
+            if nxt in landmarks:
+                nxt = int(rng.integers(0, n))
+            landmarks.append(nxt)
+        self.landmarks = landmarks
+        self._fwd = np.vstack(fwd)  # (L, n)
+        self._bwd = np.vstack(bwd)
+
+    def lower_bound(self, v: int, t: int) -> float:
+        """Admissible lower bound on ``d(v, t)``.
+
+        A landmark contributes only when both of its distances are
+        finite — an unreachable pairing tells us nothing (using it
+        would produce inf/nan bounds).
+        """
+        ft, fv = self._fwd[:, t], self._fwd[:, v]
+        bv, bt = self._bwd[:, v], self._bwd[:, t]
+        ok_a = np.isfinite(ft) & np.isfinite(fv)
+        ok_b = np.isfinite(bv) & np.isfinite(bt)
+        best = 0.0
+        if ok_a.any():
+            best = max(best, float((ft[ok_a] - fv[ok_a]).max()))
+        if ok_b.any():
+            best = max(best, float((bv[ok_b] - bt[ok_b]).max()))
+        return best
+
+
+def alt_search(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    destination: int,
+    index: Optional[ALTIndex] = None,
+    objective: int = 0,
+) -> Tuple[List[int], float]:
+    """A* with landmark lower bounds.
+
+    Builds a 4-landmark :class:`ALTIndex` on the fly when none is
+    given (pass a prebuilt index to amortise over many queries).
+    Returns ``(path, distance)``.
+    """
+    csr = _to_csr(graph)
+    n = csr.n
+    if not 0 <= source < n:
+        raise VertexError(source, n, "alt source")
+    if not 0 <= destination < n:
+        raise VertexError(destination, n, "alt destination")
+    if index is None:
+        index = ALTIndex(csr, objective=objective)
+    if index.objective != objective:
+        raise AlgorithmError(
+            f"index covers objective {index.objective}, not {objective}"
+        )
+    w = csr.weights[:, objective]
+
+    dist = {source: 0.0}
+    parents: dict = {}
+    h0 = index.lower_bound(source, destination)
+    heap = [(h0, source)]
+    settled: set = set()
+    while heap:
+        _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == destination:
+            return _walk_parents(parents, source, u), dist[u]
+        settled.add(u)
+        du = dist[u]
+        for e in range(csr.indptr[u], csr.indptr[u + 1]):
+            v = int(csr.indices[e])
+            nd = du + w[e]
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parents[v] = u
+                heapq.heappush(
+                    heap, (nd + index.lower_bound(v, destination), v)
+                )
+    raise NotReachableError(source, destination)

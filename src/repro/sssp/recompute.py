@@ -1,0 +1,46 @@
+"""Uniform entry point for the from-scratch SSSP baselines.
+
+``recompute_sssp(graph, source, algorithm=...)`` is what the
+update-vs-recompute benchmark calls: the cost a system pays when it
+does **not** use the paper's incremental algorithm and instead reruns
+a static solver on every snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+from repro.types import FloatArray, IntArray
+
+__all__ = ["recompute_sssp", "RECOMPUTE_ALGORITHMS"]
+
+RECOMPUTE_ALGORITHMS = ("dijkstra", "bellman_ford", "delta_stepping")
+
+
+def recompute_sssp(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    objective: int = 0,
+    algorithm: str = "dijkstra",
+    meter=None,
+) -> Tuple[FloatArray, IntArray]:
+    """Compute ``(dist, parent)`` from scratch with the named algorithm.
+
+    ``algorithm`` is one of :data:`RECOMPUTE_ALGORITHMS`.
+    """
+    if algorithm == "dijkstra":
+        return dijkstra(graph, source, objective, meter=meter)
+    if algorithm == "bellman_ford":
+        return bellman_ford(graph, source, objective, meter=meter)
+    if algorithm == "delta_stepping":
+        return delta_stepping(graph, source, objective, meter=meter)
+    raise AlgorithmError(
+        f"unknown SSSP algorithm {algorithm!r}; "
+        f"expected one of {RECOMPUTE_ALGORITHMS}"
+    )

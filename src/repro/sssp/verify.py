@@ -1,0 +1,132 @@
+"""Certification of shortest-path solutions.
+
+A ``(dist, parent)`` pair is a correct SSSP solution iff
+
+1. ``dist[source] == 0`` and ``parent[source] == -1``;
+2. no edge is *relaxable*: for every edge ``(u, v)``,
+   ``dist[v] <= dist[u] + w(u, v)`` (up to floating tolerance);
+3. every reachable non-source vertex has a parent edge that is *tight*:
+   ``dist[v] == dist[parent[v]] + w(parent[v], v)`` for some live edge;
+4. unreachable vertices (``dist == inf``) have no parent;
+5. the parent pointers are acyclic (they form a tree rooted at the
+   source).
+
+Conditions 2+3 together certify optimality — this is the standard
+LP-duality argument, checked in O(n + m).  The incremental algorithms
+are validated against this certificate after every batch in the test
+suite, independently of any reference distances.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TreeInvariantError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.types import INF, NO_PARENT, FloatArray, IntArray
+
+__all__ = ["certify_sssp", "is_valid_sssp"]
+
+_EPS = 1e-9
+
+
+def certify_sssp(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    dist: FloatArray,
+    parent: IntArray,
+    objective: int = 0,
+    rtol: float = 1e-9,
+) -> None:
+    """Raise :class:`TreeInvariantError` unless ``(dist, parent)`` is a
+    correct SSSP solution for ``graph``/``source``/``objective``."""
+    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    n = csr.n
+    dist = np.asarray(dist, dtype=float)
+    parent = np.asarray(parent)
+    if dist.shape != (n,) or parent.shape != (n,):
+        raise TreeInvariantError(
+            f"dist/parent shapes {dist.shape}/{parent.shape} != ({n},)"
+        )
+    if dist[source] != 0.0:
+        raise TreeInvariantError(f"dist[source]={dist[source]}, expected 0")
+    if parent[source] != NO_PARENT:
+        raise TreeInvariantError(f"source has parent {parent[source]}")
+
+    tol = rtol * (1.0 + np.max(dist[np.isfinite(dist)], initial=0.0))
+
+    # 2. no relaxable edge (vectorised over all edges)
+    if csr.m:
+        w = csr.weights[:, objective]
+        du = dist[csr.src]
+        dv = dist[csr.indices]
+        finite = np.isfinite(du)
+        bad = finite & (dv > du + w + tol)
+        if bad.any():
+            e = int(np.nonzero(bad)[0][0])
+            raise TreeInvariantError(
+                f"edge ({csr.src[e]}, {csr.indices[e]}) relaxable: "
+                f"dist[{csr.indices[e]}]={dv[e]} > {du[e]} + {w[e]}"
+            )
+
+    # 3/4. parent-edge tightness and unreachable consistency
+    for v in range(n):
+        p = int(parent[v])
+        if dist[v] == INF:
+            if p != NO_PARENT:
+                raise TreeInvariantError(
+                    f"unreachable vertex {v} has parent {p}"
+                )
+            continue
+        if v == source:
+            continue
+        if p == NO_PARENT:
+            raise TreeInvariantError(f"reachable vertex {v} has no parent")
+        if not 0 <= p < n:
+            raise TreeInvariantError(f"parent[{v}]={p} out of range")
+        # tight parent edge must exist
+        nbrs = csr.in_neighbors(v)
+        ws = csr.in_weights(v, objective)
+        mask = nbrs == p
+        if not mask.any():
+            raise TreeInvariantError(f"no edge ({p}, {v}) for parent pointer")
+        gap = np.abs(dist[p] + ws[mask] - dist[v])
+        if gap.min() > tol:
+            raise TreeInvariantError(
+                f"parent edge ({p}, {v}) not tight: "
+                f"dist[{p}]+w={dist[p] + ws[mask].min()} vs dist[{v}]={dist[v]}"
+            )
+
+    # 5. acyclicity of parent pointers
+    state = np.zeros(n, dtype=np.int8)  # 0 unvisited, 1 in progress, 2 done
+    for v0 in range(n):
+        if state[v0] or dist[v0] == INF:
+            continue
+        path = []
+        v = v0
+        while v != NO_PARENT and state[v] == 0:
+            state[v] = 1
+            path.append(v)
+            v = int(parent[v])
+        if v != NO_PARENT and state[v] == 1:
+            raise TreeInvariantError(f"parent pointers cycle through {v}")
+        for u in path:
+            state[u] = 2
+
+
+def is_valid_sssp(
+    graph: Union[DiGraph, CSRGraph],
+    source: int,
+    dist: FloatArray,
+    parent: IntArray,
+    objective: int = 0,
+) -> bool:
+    """Boolean form of :func:`certify_sssp`."""
+    try:
+        certify_sssp(graph, source, dist, parent, objective)
+        return True
+    except TreeInvariantError:
+        return False

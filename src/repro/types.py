@@ -1,0 +1,63 @@
+"""Shared type aliases and small value objects.
+
+The whole package identifies vertices by dense integer ids in
+``[0, n)``.  Distances are ``float64``; a weight *vector* has one
+component per objective.  ``INF`` marks unreachable vertices and
+``NO_PARENT`` marks tree roots / unreachable vertices in parent arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Vertex",
+    "EdgeTuple",
+    "WeightVector",
+    "FloatArray",
+    "IntArray",
+    "BoolArray",
+    "INF",
+    "NO_PARENT",
+    "DIST_DTYPE",
+    "VERTEX_DTYPE",
+    "as_float_array",
+    "as_vertex_array",
+]
+
+#: A vertex id (dense, ``0 <= v < n``).
+Vertex = int
+
+#: ``(u, v)`` or ``(u, v, weight)`` edge description.
+EdgeTuple = Union[Tuple[int, int], Tuple[int, int, float]]
+
+#: Per-objective weight vector of an edge.
+WeightVector = Sequence[float]
+
+FloatArray = np.ndarray
+IntArray = np.ndarray
+BoolArray = np.ndarray
+
+#: Distance value for unreachable vertices.
+INF: float = float("inf")
+
+#: Parent sentinel for roots and unreachable vertices.
+NO_PARENT: int = -1
+
+#: dtype used for all distance arrays.
+DIST_DTYPE = np.float64
+
+#: dtype used for all vertex-id arrays.
+VERTEX_DTYPE = np.int64
+
+
+def as_float_array(values: Iterable[float]) -> FloatArray:
+    """Return ``values`` as a contiguous ``float64`` numpy array."""
+    return np.ascontiguousarray(values, dtype=DIST_DTYPE)
+
+
+def as_vertex_array(values: Iterable[int]) -> IntArray:
+    """Return ``values`` as a contiguous ``int64`` numpy array."""
+    return np.ascontiguousarray(values, dtype=VERTEX_DTYPE)

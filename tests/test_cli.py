@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import DiGraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = DiGraph(4, k=2)
+    g.add_edge(0, 1, (1.0, 4.0))
+    g.add_edge(1, 2, (1.0, 4.0))
+    g.add_edge(0, 2, (4.0, 1.0))
+    g.add_edge(2, 3, (1.0, 1.0))
+    p = tmp_path / "g.el"
+    write_edge_list(g, p)
+    return str(p)
+
+
+class TestInfo:
+    def test_exit_zero_and_mentions_paper(self):
+        code, text = run(["info"])
+        assert code == 0
+        assert "3624062.3625134" in text
+        assert "sosp_update" in text
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["road", "rgg", "er"])
+    def test_families(self, family, tmp_path):
+        out_file = tmp_path / "g.el"
+        code, text = run(
+            ["generate", family, str(out_file), "-n", "100", "--seed", "1"]
+        )
+        assert code == 0
+        g = read_edge_list(out_file)
+        assert g.num_vertices >= 100
+        assert g.num_objectives == 2
+
+    def test_er_edge_count(self, tmp_path):
+        out_file = tmp_path / "g.el"
+        run(["generate", "er", str(out_file), "-n", "50", "-m", "120"])
+        assert read_edge_list(out_file).num_edges == 120
+
+
+class TestSSSP:
+    def test_summary(self, graph_file):
+        code, text = run(["sssp", graph_file])
+        assert code == 0
+        assert "4/4 reachable" in text
+
+    def test_path_output(self, graph_file):
+        code, text = run(["sssp", graph_file, "--target", "3"])
+        assert "0 -> 1 -> 2 -> 3" in text
+        assert "distance: 3" in text
+
+    def test_second_objective(self, graph_file):
+        code, text = run(
+            ["sssp", graph_file, "--target", "2", "--objective", "1"]
+        )
+        assert "0 -> 2" in text
+
+    @pytest.mark.parametrize("algo", ["bellman_ford", "delta_stepping"])
+    def test_algorithms(self, graph_file, algo):
+        code, text = run(
+            ["sssp", graph_file, "--target", "3", "--algorithm", algo]
+        )
+        assert code == 0 and "distance: 3" in text
+
+    def test_missing_file_is_error(self):
+        code, _ = run(["sssp", "/nonexistent.el"])
+        assert code == 2
+
+    def test_unreachable_target_is_error(self, tmp_path):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        p = tmp_path / "g.el"
+        write_edge_list(g, p)
+        code, _ = run(["sssp", str(p), "--target", "2"])
+        assert code == 2
+
+
+class TestMOSP:
+    def test_balanced(self, graph_file):
+        code, text = run(["mosp", graph_file, "--target", "3"])
+        assert code == 0
+        assert "path:" in text and "cost:" in text
+        assert "objective 0 optimum" in text
+
+    def test_priority(self, graph_file):
+        code, text = run(
+            ["mosp", graph_file, "--target", "2",
+             "--weighting", "priority", "--priorities", "100", "1"]
+        )
+        assert code == 0
+        assert "0 -> 1 -> 2" in text
+
+    def test_simulated_engine(self, graph_file):
+        code, _ = run(
+            ["mosp", graph_file, "--target", "3",
+             "--engine", "simulated", "--threads", "8"]
+        )
+        assert code == 0
+
+
+class TestUpdateDemo:
+    def test_synthetic_default(self):
+        code, text = run(
+            ["update-demo", "--steps", "2", "--batch-size", "10"]
+        )
+        assert code == 0
+        assert "step 1:" in text and "step 2:" in text
+
+    def test_from_file(self, tmp_path):
+        g = DiGraph(20)
+        for i in range(19):
+            g.add_edge(i, i + 1, 1.0)
+        p = tmp_path / "g.el"
+        write_edge_list(g, p)
+        code, text = run(
+            ["update-demo", str(p), "--steps", "1", "--batch-size", "5"]
+        )
+        assert code == 0
+        assert "20 vertices" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0

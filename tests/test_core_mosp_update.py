@@ -1,0 +1,199 @@
+"""Tests for Algorithm 2 (mosp_update): pipeline, theorems, quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import SOSPTree, mosp_update
+from repro.dynamic import ChangeBatch, random_insert_batch
+from repro.errors import AlgorithmError, NotReachableError
+from repro.graph import DiGraph, erdos_renyi, grid_road
+from repro.mosp import martins, nondominated_against
+from repro.parallel import SerialEngine, SimulatedEngine, ThreadEngine
+from repro.sssp import dijkstra
+
+
+def build_trees(g, source=0):
+    return [SOSPTree.build(g, source, objective=i)
+            for i in range(g.num_objectives)]
+
+
+def path_cost(g, path):
+    """True multi-objective cost of a vertex path (min parallel edge
+    by lexicographic weight, matching _representative_weight)."""
+    k = g.num_objectives
+    cost = np.zeros(k)
+    for u, v in zip(path, path[1:]):
+        opts = sorted(
+            tuple(g.weight(eid)) for vv, eid in g.out_edges(u) if vv == v
+        )
+        assert opts, f"missing edge ({u}, {v})"
+        cost += np.asarray(opts[0])
+    return cost
+
+
+class TestPipelineBasics:
+    def test_static_recombine_no_batch(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 4.0))
+        g.add_edge(1, 2, (1.0, 4.0))
+        g.add_edge(0, 2, (4.0, 1.0))
+        trees = build_trees(g)
+        r = mosp_update(g, trees)
+        # both candidate paths are Pareto optimal; result must be one
+        assert r.path_to(2) in ([0, 1, 2], [0, 2])
+        np.testing.assert_allclose(r.cost_to(2), path_cost(g, r.path_to(2)))
+
+    def test_dist_vectors_consistent_with_paths(self):
+        g = erdos_renyi(30, 150, k=2, seed=0)
+        trees = build_trees(g)
+        r = mosp_update(g, trees)
+        for v in range(g.num_vertices):
+            if np.isfinite(r.dist_vectors[v]).all() and v != 0:
+                p = r.path_to(v)
+                np.testing.assert_allclose(
+                    r.cost_to(v), path_cost(g, p), rtol=1e-9
+                )
+
+    def test_source_cost_zero(self):
+        g = erdos_renyi(10, 40, k=2, seed=1)
+        r = mosp_update(g, build_trees(g))
+        assert r.cost_to(0).tolist() == [0.0, 0.0]
+
+    def test_unreachable_vertex_raises(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        r = mosp_update(g, build_trees(g))
+        with pytest.raises(NotReachableError):
+            r.path_to(2)
+
+    def test_reachability_matches_sosp(self):
+        g = erdos_renyi(40, 120, k=2, seed=2)
+        trees = build_trees(g)
+        r = mosp_update(g, trees)
+        d0, _ = dijkstra(g, 0, 0)
+        finite = np.isfinite(r.dist_vectors).all(axis=1)
+        np.testing.assert_array_equal(finite, np.isfinite(d0))
+
+    def test_per_objective_cost_lower_bounded_by_sosp(self):
+        # no path can beat the per-objective optimum
+        g = erdos_renyi(40, 200, k=2, seed=3)
+        trees = build_trees(g)
+        r = mosp_update(g, trees)
+        for i in range(2):
+            di, _ = dijkstra(g, 0, i)
+            reach = np.isfinite(di)
+            assert np.all(r.dist_vectors[reach, i] >= di[reach] - 1e-9)
+
+
+class TestWithBatch:
+    @pytest.mark.parametrize("engine", [
+        None, SerialEngine(), ThreadEngine(threads=3),
+        SimulatedEngine(threads=4),
+    ], ids=lambda e: getattr(e, "name", "default"))
+    def test_update_then_recombine(self, engine):
+        g = erdos_renyi(50, 200, k=2, seed=4)
+        trees = build_trees(g)
+        batch = random_insert_batch(g, 60, seed=5)
+        batch.apply_to(g)
+        r = mosp_update(g, trees, batch, engine=engine)
+        # step 1 must leave each tree a correct SSSP solution
+        for i, t in enumerate(trees):
+            ref, _ = dijkstra(g, 0, i)
+            np.testing.assert_allclose(t.dist, ref, rtol=1e-9)
+        assert len(r.update_stats) == 2
+        # and the MOSP costs must be real path costs
+        for v in range(g.num_vertices):
+            if np.isfinite(r.dist_vectors[v]).all() and v != 0:
+                np.testing.assert_allclose(
+                    r.cost_to(v), path_cost(g, r.path_to(v)), rtol=1e-9
+                )
+
+    def test_step_timers_populated(self):
+        g = erdos_renyi(30, 120, k=2, seed=6)
+        trees = build_trees(g)
+        batch = random_insert_batch(g, 30, seed=7)
+        batch.apply_to(g)
+        r = mosp_update(g, trees, batch)
+        assert set(r.step_seconds) == {
+            "sosp_update_0", "sosp_update_1", "ensemble",
+            "bellman_ford", "reassign",
+        }
+        assert all(v >= 0 for v in r.step_seconds.values())
+
+    def test_virtual_timers_with_simulated_engine(self):
+        g = erdos_renyi(30, 120, k=2, seed=6)
+        trees = build_trees(g)
+        batch = random_insert_batch(g, 30, seed=7)
+        batch.apply_to(g)
+        eng = SimulatedEngine(threads=4)
+        r = mosp_update(g, trees, batch, engine=eng)
+        assert set(r.step_virtual_seconds) == set(r.step_seconds)
+        assert sum(r.step_virtual_seconds.values()) <= eng.virtual_time + 1e-12
+
+
+class TestTheorems:
+    def test_theorem1_unique_trees_pareto_optimal(self):
+        """Theorem 3 construction: unique SOSP trees => the heuristic's
+        path is Pareto optimal (checked against Martins' full front)."""
+        rng = np.random.default_rng(8)
+        for trial in range(10):
+            # random weights with distinct sums make ties (and thus
+            # non-unique trees) measure-zero
+            g = erdos_renyi(12, 40, k=2, seed=trial + 100)
+            trees = build_trees(g)
+            r = mosp_update(g, trees)
+            full = martins(g, 0)
+            for v in range(g.num_vertices):
+                if not np.isfinite(r.dist_vectors[v]).all():
+                    continue
+                front = full.front(v)
+                assert nondominated_against(r.cost_to(v), front), (
+                    f"trial {trial} vertex {v}: {r.cost_to(v)} dominated "
+                    f"by front {front}"
+                )
+
+    def test_balanced_weighting_prefers_shared_edges(self):
+        """Step 2's k-x+1 weighting: an edge in both trees must be
+        chosen over two single-tree edges of the same hop count."""
+        g = DiGraph(4, k=2)
+        # two routes 0->3: via 1 (shared optimal for both objectives)
+        # and via 2 (optimal for neither... but in tree for neither)
+        g.add_edge(0, 1, (1.0, 1.0))
+        g.add_edge(1, 3, (1.0, 1.0))
+        g.add_edge(0, 2, (5.0, 5.0))
+        g.add_edge(2, 3, (5.0, 5.0))
+        trees = build_trees(g)
+        r = mosp_update(g, trees)
+        assert r.path_to(3) == [0, 1, 3]
+
+    def test_priority_weighting_steers_path(self):
+        """Prioritising objective 1 must pick objective 1's optimum."""
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 9.0))
+        g.add_edge(1, 2, (1.0, 9.0))
+        g.add_edge(0, 2, (9.0, 1.0))
+        trees = build_trees(g)
+        r_fast = mosp_update(g, trees, weighting="priority",
+                             priorities=(100.0, 1.0))
+        assert r_fast.path_to(2) == [0, 1, 2]
+        r_lean = mosp_update(g, trees, weighting="priority",
+                             priorities=(1.0, 100.0))
+        assert r_lean.path_to(2) == [0, 2]
+
+
+class TestValidation:
+    def test_tree_count_mismatch_rejected(self):
+        g = erdos_renyi(10, 30, k=2, seed=0)
+        with pytest.raises(AlgorithmError):
+            mosp_update(g, [SOSPTree.build(g, 0, objective=0)])
+
+    def test_tree_order_enforced(self):
+        g = erdos_renyi(10, 30, k=2, seed=0)
+        trees = build_trees(g)
+        with pytest.raises(AlgorithmError):
+            mosp_update(g, trees[::-1])
+
+    def test_no_trees_rejected(self):
+        g = erdos_renyi(10, 30, k=2, seed=0)
+        with pytest.raises(AlgorithmError):
+            mosp_update(g, [])

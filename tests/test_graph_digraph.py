@@ -1,0 +1,243 @@
+"""Unit tests for repro.graph.digraph.DiGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeError, VertexError, WeightError
+from repro.graph import DiGraph
+from repro.graph.validation import validate_digraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.num_objectives == 1
+
+    def test_vertices_only(self):
+        g = DiGraph(5)
+        assert g.num_vertices == 5
+        assert len(g) == 5
+        assert list(g.out_edges(0)) == []
+        assert list(g.in_edges(4)) == []
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(VertexError):
+            DiGraph(-1)
+
+    def test_zero_objectives_rejected(self):
+        with pytest.raises(WeightError):
+            DiGraph(3, k=0)
+
+    def test_from_edge_list_scalar_weights(self):
+        g = DiGraph.from_edge_list(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.num_edges == 2
+        assert g.weight_scalar(0) == 2.0
+
+    def test_from_edge_list_vector_weights(self):
+        g = DiGraph.from_edge_list(3, [(0, 1, (2.0, 7.0))], k=2)
+        assert g.num_objectives == 2
+        assert g.weight(0).tolist() == [2.0, 7.0]
+
+
+class TestEdgeInsertion:
+    def test_add_edge_returns_sequential_ids(self):
+        g = DiGraph(3)
+        assert g.add_edge(0, 1, 1.0) == 0
+        assert g.add_edge(1, 2, 1.0) == 1
+
+    def test_add_edge_updates_both_adjacencies(self):
+        g = DiGraph(3)
+        eid = g.add_edge(0, 2, 5.0)
+        assert list(g.out_edges(0)) == [(2, eid)]
+        assert list(g.in_edges(2)) == [(0, eid)]
+
+    def test_parallel_edges_allowed(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 2
+        assert g.min_weight_between(0, 1) == 1.0
+
+    def test_self_loop_allowed(self):
+        g = DiGraph(2)
+        g.add_edge(0, 0, 1.0)
+        assert g.has_edge(0, 0)
+
+    def test_out_of_range_endpoint_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(VertexError):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(VertexError):
+            g.add_edge(-1, 0, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_nan_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, float("nan"))
+
+    def test_inf_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, float("inf"))
+
+    def test_wrong_arity_rejected(self):
+        g = DiGraph(2, k=2)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, (1.0,))
+
+    def test_many_inserts_grow_buffer(self):
+        g = DiGraph(100)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            g.add_edge(int(rng.integers(100)), int(rng.integers(100)), 1.0)
+        assert g.num_edges == 500
+        validate_digraph(g)
+
+
+class TestEdgeDeletion:
+    def test_remove_edge_id(self):
+        g = DiGraph(2)
+        eid = g.add_edge(0, 1, 1.0)
+        g.remove_edge_id(eid)
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+        assert not g.is_alive(eid)
+
+    def test_double_delete_rejected(self):
+        g = DiGraph(2)
+        eid = g.add_edge(0, 1, 1.0)
+        g.remove_edge_id(eid)
+        with pytest.raises(EdgeError):
+            g.remove_edge_id(eid)
+
+    def test_remove_by_endpoints_picks_cheapest_parallel(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 5.0)
+        cheap = g.add_edge(0, 1, 1.0)
+        removed = g.remove_edge(0, 1)
+        assert removed == cheap
+        assert g.min_weight_between(0, 1) == 5.0
+
+    def test_remove_missing_edge_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(EdgeError):
+            g.remove_edge(0, 1)
+
+    def test_iteration_skips_tombstones(self):
+        g = DiGraph(3)
+        e0 = g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 2.0)
+        g.remove_edge_id(e0)
+        assert [(v) for v, _ in g.out_edges(0)] == [2]
+        assert [u for u, _ in g.in_edges(1)] == []
+
+    def test_compact_preserves_edges_and_resets_tombstones(self):
+        g = DiGraph(4)
+        ids = [g.add_edge(i, (i + 1) % 4, float(i + 1)) for i in range(4)]
+        g.remove_edge_id(ids[1])
+        g.compact()
+        assert g.num_edges == 3
+        assert g.num_edge_slots == 3
+        weights = sorted(g.weight_scalar(e) for _, _, e in g.edges())
+        assert weights == [1.0, 3.0, 4.0]
+        validate_digraph(g)
+
+    def test_compact_noop_when_clean(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.compact()
+        assert g.num_edges == 1
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 2.0)
+        g.add_edge(1, 3, 3.0)
+        g.add_edge(2, 3, 4.0)
+        return g
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(3) == 2
+        assert diamond.out_degree(3) == 0
+
+    def test_successors_predecessors(self, diamond):
+        assert sorted(diamond.successors(0)) == [1, 2]
+        assert sorted(diamond.predecessors(3)) == [1, 2]
+
+    def test_edges_iteration(self, diamond):
+        edges = {(u, v) for u, v, _ in diamond.edges()}
+        assert edges == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_edge_arrays_roundtrip(self, diamond):
+        src, dst, w = diamond.edge_arrays()
+        assert len(src) == 4
+        assert w.shape == (4, 1)
+        assert set(zip(src.tolist(), dst.tolist())) == {
+            (0, 1), (0, 2), (1, 3), (2, 3)
+        }
+
+    def test_copy_is_independent(self, diamond):
+        g2 = diamond.copy()
+        g2.add_edge(3, 0, 1.0)
+        assert diamond.num_edges == 4
+        assert g2.num_edges == 5
+
+    def test_reverse(self, diamond):
+        r = diamond.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(3, 2)
+        assert not r.has_edge(0, 1)
+
+    def test_min_weight_between_missing_is_inf(self, diamond):
+        assert diamond.min_weight_between(3, 0) == float("inf")
+
+
+class TestVertexGrowth:
+    def test_add_vertices(self):
+        g = DiGraph(2)
+        first = g.add_vertices(3)
+        assert first == 2
+        assert g.num_vertices == 5
+        g.add_edge(0, 4, 1.0)
+        assert g.has_edge(0, 4)
+
+    def test_add_zero_vertices(self):
+        g = DiGraph(2)
+        assert g.add_vertices(0) == 2
+        assert g.num_vertices == 2
+
+    def test_add_negative_vertices_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(VertexError):
+            g.add_vertices(-1)
+
+
+class TestWeights:
+    def test_set_weight(self):
+        g = DiGraph(2, k=2)
+        eid = g.add_edge(0, 1, (1.0, 2.0))
+        g.set_weight(eid, (3.0, 4.0))
+        assert g.weight(eid).tolist() == [3.0, 4.0]
+
+    def test_set_weight_dead_edge_rejected(self):
+        g = DiGraph(2)
+        eid = g.add_edge(0, 1, 1.0)
+        g.remove_edge_id(eid)
+        with pytest.raises(EdgeError):
+            g.set_weight(eid, 2.0)
+
+    def test_weight_scalar_objective_selection(self):
+        g = DiGraph(2, k=3)
+        eid = g.add_edge(0, 1, (1.0, 2.0, 3.0))
+        assert g.weight_scalar(eid, 2) == 3.0

@@ -1,0 +1,177 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_road,
+    layered_dag,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    road_like,
+    star_graph,
+)
+from repro.graph.validation import validate_digraph
+
+
+class TestGridRoad:
+    def test_full_grid_edge_count(self):
+        # no drops, no diagonals: (r*(c-1) + c*(r-1)) undirected streets
+        g = grid_road(4, 5, seed=0, drop_fraction=0.0, diagonal_fraction=0.0)
+        undirected = 4 * 4 + 5 * 3
+        assert g.num_edges == 2 * undirected
+
+    def test_unidirectional(self):
+        g = grid_road(3, 3, seed=0, drop_fraction=0.0,
+                      diagonal_fraction=0.0, bidirectional=False)
+        assert g.num_edges == 3 * 2 + 3 * 2
+
+    def test_determinism(self):
+        a = grid_road(6, 6, seed=42)
+        b = grid_road(6, 6, seed=42)
+        assert sorted((u, v) for u, v, _ in a.edges()) == sorted(
+            (u, v) for u, v, _ in b.edges()
+        )
+
+    def test_different_seed_differs(self):
+        a = grid_road(6, 6, seed=1, drop_fraction=0.3)
+        b = grid_road(6, 6, seed=2, drop_fraction=0.3)
+        assert sorted((u, v) for u, v, _ in a.edges()) != sorted(
+            (u, v) for u, v, _ in b.edges()
+        )
+
+    def test_sparsity_in_road_range(self):
+        g = grid_road(40, 40, seed=0)
+        avg_deg = g.num_edges / g.num_vertices
+        assert 2.0 < avg_deg < 4.5  # road networks: sparse
+
+    def test_validates(self):
+        validate_digraph(grid_road(10, 7, seed=5, k=2))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(GraphError):
+            grid_road(0, 5)
+
+
+class TestRoadLike:
+    def test_vertex_count_near_target(self):
+        g = road_like(1000, seed=0)
+        assert 950 <= g.num_vertices <= 1100
+
+    def test_multi_objective(self):
+        g = road_like(100, k=3, seed=0)
+        assert g.num_objectives == 3
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(GraphError):
+            road_like(0)
+
+
+class TestRandomGeometric:
+    def test_degree_near_target(self):
+        g = random_geometric(2000, seed=0, target_degree=6.6)
+        avg = g.num_edges / g.num_vertices
+        # bidirectional doubling: directed average degree ~ 6.6
+        assert 4.0 < avg < 10.0
+
+    def test_explicit_radius_all_connected(self):
+        g = random_geometric(20, radius=2.0, seed=0)
+        # radius covers the whole unit square -> complete graph
+        assert g.num_edges == 20 * 19
+
+    def test_zero_radius_no_edges(self):
+        g = random_geometric(50, radius=1e-9, seed=0)
+        assert g.num_edges == 0
+
+    def test_symmetry_when_bidirectional(self):
+        g = random_geometric(200, seed=1)
+        edges = {(u, v) for u, v, _ in g.edges()}
+        assert all((v, u) in edges for (u, v) in edges)
+
+    def test_determinism(self):
+        a = random_geometric(300, seed=9)
+        b = random_geometric(300, seed=9)
+        assert a.num_edges == b.num_edges
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(30, 100, seed=0)
+        assert g.num_edges == 100
+
+    def test_no_self_loops_or_duplicates(self):
+        g = erdos_renyi(20, 150, seed=1)
+        seen = set()
+        for u, v, _ in g.edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_dense_request(self):
+        g = erdos_renyi(6, 25, seed=0)  # 25 of max 30 -> dense path
+        assert g.num_edges == 25
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(3, 7)
+
+
+class TestOtherFamilies:
+    def test_preferential_attachment_connected_ish(self):
+        g = preferential_attachment(50, m_per_vertex=2, seed=0)
+        assert g.num_edges > 0
+        validate_digraph(g)
+        # hubs exist: max degree well above the mean
+        degs = [g.out_degree(v) for v in range(50)]
+        assert max(degs) >= 3 * (sum(degs) / len(degs)) / 2
+
+    def test_layered_dag_structure(self):
+        g = layered_dag(4, 5, seed=0, fanout=2)
+        assert g.num_vertices == 20
+        for u, v, _ in g.edges():
+            assert v // 5 == u // 5 + 1  # edges go layer -> next layer
+
+    def test_path_graph(self):
+        g = path_graph(5, seed=0)
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(4, seed=0)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_complete_graph(self):
+        g = complete_graph(4, seed=0)
+        assert g.num_edges == 12
+
+    def test_star_graph(self):
+        g = star_graph(5, seed=0)
+        assert g.num_edges == 8
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 4
+
+    def test_single_vertex_families(self):
+        assert path_graph(1).num_edges == 0
+        assert complete_graph(1).num_edges == 0
+        assert star_graph(1).num_edges == 0
+
+
+class TestWeightsAttached:
+    @pytest.mark.parametrize("gen", [
+        lambda: grid_road(5, 5, k=2, seed=0),
+        lambda: random_geometric(100, k=2, seed=0),
+        lambda: erdos_renyi(20, 50, k=2, seed=0),
+    ])
+    def test_weights_positive_finite(self, gen):
+        g = gen()
+        for _, _, eid in g.edges():
+            w = g.weight(eid)
+            assert np.all(np.isfinite(w))
+            assert np.all(w > 0)
+            assert w.shape == (2,)

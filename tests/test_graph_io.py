@@ -1,0 +1,181 @@
+"""Unit tests for repro.graph.io and repro.graph.multiweight."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError, WeightError
+from repro.graph import DiGraph, attach_random_weights, erdos_renyi
+from repro.graph.io import (
+    edge_list_to_string,
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.graph.multiweight import (
+    anticorrelated_weights,
+    correlated_weights,
+    uniform_weights,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_scalar(self, tmp_path):
+        g = erdos_renyi(10, 30, seed=0)
+        p = tmp_path / "g.el"
+        write_edge_list(g, p)
+        h = read_edge_list(p)
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        assert sorted((u, v) for u, v, _ in h.edges()) == sorted(
+            (u, v) for u, v, _ in g.edges()
+        )
+
+    def test_roundtrip_multiweight_exact(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.25, 2.5))
+        g.add_edge(1, 2, (0.1, 9.0))
+        s = edge_list_to_string(g)
+        h = read_edge_list(io.StringIO(s))
+        assert h.num_objectives == 2
+        ws = sorted(tuple(h.weight(e)) for _, _, e in h.edges())
+        assert ws == [(0.1, 9.0), (1.25, 2.5)]
+
+    def test_header_preserves_isolated_vertices(self):
+        g = DiGraph(10)
+        g.add_edge(0, 1, 1.0)
+        h = read_edge_list(io.StringIO(edge_list_to_string(g)))
+        assert h.num_vertices == 10
+
+    def test_headerless_infers_n_and_k(self):
+        h = read_edge_list(io.StringIO("0 3 1.0 2.0\n3 1 4.0 5.0\n"))
+        assert h.num_vertices == 4
+        assert h.num_objectives == 2
+
+    def test_empty_file(self):
+        h = read_edge_list(io.StringIO(""))
+        assert h.num_vertices == 0
+
+    def test_short_line_rejected(self):
+        with pytest.raises(IOFormatError):
+            read_edge_list(io.StringIO("0 1\n"))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IOFormatError):
+            read_edge_list(io.StringIO("a b c\n"))
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(IOFormatError):
+            read_edge_list(io.StringIO("0 1 1.0\n1 2 1.0 2.0\n"))
+
+
+class TestMatrixMarket:
+    def test_pattern_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(io.StringIO(text), k=2)
+        # symmetric -> both directions
+        assert g.num_edges == 4
+        assert g.has_edge(1, 0) and g.has_edge(0, 1)
+        assert g.num_objectives == 2
+
+    def test_real_general(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 1
+        assert g.weight_scalar(0) == 3.5
+
+    def test_negative_values_folded_to_abs(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 -3.5\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.weight_scalar(0) == 3.5
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(IOFormatError):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_wrong_entry_count_rejected(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 5\n"
+            "1 2\n"
+        )
+        with pytest.raises(IOFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_write_then_read(self, tmp_path):
+        g = erdos_renyi(8, 20, seed=2)
+        p = tmp_path / "g.mtx"
+        write_matrix_market(g, p)
+        h = read_matrix_market(p)
+        assert h.num_edges == g.num_edges
+
+
+class TestWeightDistributions:
+    def test_uniform_range(self):
+        w = uniform_weights(1000, 2, np.random.default_rng(0), 1.0, 10.0)
+        assert w.shape == (1000, 2)
+        assert w.min() >= 1.0 and w.max() < 10.0
+
+    def test_uniform_bad_range_rejected(self):
+        with pytest.raises(WeightError):
+            uniform_weights(10, 1, np.random.default_rng(0), 5.0, 5.0)
+
+    def test_correlated_positive_correlation(self):
+        w = correlated_weights(5000, 2, np.random.default_rng(0))
+        r = np.corrcoef(w[:, 0], w[:, 1])[0, 1]
+        assert r > 0.9
+
+    def test_anticorrelated_negative_correlation(self):
+        w = anticorrelated_weights(5000, 2, np.random.default_rng(0))
+        r = np.corrcoef(w[:, 0], w[:, 1])[0, 1]
+        assert r < -0.9
+
+    def test_all_distributions_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for fn in (uniform_weights, correlated_weights, anticorrelated_weights):
+            w = fn(200, 3, rng)
+            assert np.all(w >= 0) and np.all(np.isfinite(w))
+
+
+class TestAttachRandomWeights:
+    def test_changes_k(self):
+        g = erdos_renyi(10, 30, seed=0, k=1)
+        h = attach_random_weights(g, k=3, rng=np.random.default_rng(0))
+        assert h.num_objectives == 3
+        assert h.num_edges == g.num_edges
+
+    def test_topology_preserved(self):
+        g = erdos_renyi(10, 30, seed=0)
+        h = attach_random_weights(g, k=2, rng=np.random.default_rng(0))
+        assert sorted((u, v) for u, v, _ in h.edges()) == sorted(
+            (u, v) for u, v, _ in g.edges()
+        )
+
+    def test_unknown_distribution_rejected(self):
+        g = erdos_renyi(5, 5, seed=0)
+        with pytest.raises(WeightError):
+            attach_random_weights(g, k=2, distribution="zipf")
+
+    def test_deterministic_given_rng_seed(self):
+        g = erdos_renyi(10, 30, seed=0)
+        h1 = attach_random_weights(g, k=2, rng=np.random.default_rng(7))
+        h2 = attach_random_weights(g, k=2, rng=np.random.default_rng(7))
+        w1 = sorted(tuple(h1.weight(e)) for _, _, e in h1.edges())
+        w2 = sorted(tuple(h2.weight(e)) for _, _, e in h2.edges())
+        assert w1 == w2

@@ -1,0 +1,115 @@
+"""Tests for NAMOA* (point-to-point exact multi-objective search)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VertexError
+from repro.graph import DiGraph, attach_random_weights, erdos_renyi, layered_dag
+from repro.mosp import martins, namoa_star
+
+
+class TestSmallGraphs:
+    def test_two_route_tradeoff(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 9.0))
+        g.add_edge(1, 2, (1.0, 9.0))
+        g.add_edge(0, 2, (9.0, 1.0))
+        r = namoa_star(g, 0, 2)
+        assert sorted(map(tuple, r.front().tolist())) == [
+            (2.0, 18.0), (9.0, 1.0)
+        ]
+
+    def test_paths_reconstruct(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 9.0))
+        g.add_edge(1, 2, (1.0, 9.0))
+        g.add_edge(0, 2, (9.0, 1.0))
+        paths = sorted(namoa_star(g, 0, 2).paths())
+        assert paths == [[0, 1, 2], [0, 2]]
+
+    def test_unreachable_destination(self):
+        g = DiGraph(3, k=2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        r = namoa_star(g, 0, 2)
+        assert r.labels == []
+        assert r.front().size == 0
+
+    def test_source_is_destination(self):
+        g = DiGraph(2, k=2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        r = namoa_star(g, 0, 0)
+        assert r.front().tolist() == [[0.0, 0.0]]
+
+    def test_bad_vertices_rejected(self):
+        g = DiGraph(2, k=2)
+        with pytest.raises(VertexError):
+            namoa_star(g, 5, 0)
+        with pytest.raises(VertexError):
+            namoa_star(g, 0, 5)
+
+
+class TestAgainstMartins:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_same_front_er(self, seed):
+        g = erdos_renyi(15, 60, k=2, seed=seed)
+        dest = 7
+        full = martins(g, 0)
+        r = namoa_star(g, 0, dest)
+        got = sorted(map(tuple, r.front().tolist())) if r.labels else []
+        ref = sorted(map(tuple, full.front(dest).tolist())) \
+            if full.labels[dest] else []
+        assert got == ref
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_same_front_anticorrelated_dag(self, seed):
+        g = layered_dag(6, 4, k=2, seed=seed, fanout=3)
+        g = attach_random_weights(
+            g, k=2, rng=np.random.default_rng(seed),
+            distribution="anticorrelated",
+        )
+        dest = g.num_vertices - 1
+        full = martins(g, 0)
+        r = namoa_star(g, 0, dest)
+        got = sorted(map(tuple, np.round(r.front(), 9).tolist()))
+        ref = sorted(map(tuple, np.round(full.front(dest), 9).tolist()))
+        assert got == ref
+
+    def test_three_objectives(self):
+        g = erdos_renyi(12, 50, k=3, seed=5)
+        dest = 6
+        full = martins(g, 0)
+        r = namoa_star(g, 0, dest)
+        got = sorted(map(tuple, r.front().tolist())) if r.labels else []
+        ref = sorted(map(tuple, full.front(dest).tolist())) \
+            if full.labels[dest] else []
+        assert got == ref
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_settles_more_than_martins(self, seed):
+        """The heuristic must prune: NAMOA* settles no more labels than
+        the blind enumeration."""
+        g = layered_dag(6, 4, k=2, seed=seed, fanout=3)
+        g = attach_random_weights(
+            g, k=2, rng=np.random.default_rng(seed + 50),
+            distribution="anticorrelated",
+        )
+        dest = g.num_vertices - 1
+        full = martins(g, 0)
+        r = namoa_star(g, 0, dest)
+        assert r.pops <= full.pops
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000), st.integers(1, 9))
+    def test_front_equivalence_random(self, seed, dest):
+        g = erdos_renyi(10, 35, k=2, seed=seed % 211)
+        full = martins(g, 0)
+        r = namoa_star(g, 0, dest)
+        got = sorted(map(tuple, r.front().tolist())) if r.labels else []
+        ref = sorted(map(tuple, full.front(dest).tolist())) \
+            if full.labels[dest] else []
+        assert got == ref

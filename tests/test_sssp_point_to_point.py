@@ -1,0 +1,134 @@
+"""Tests for bidirectional Dijkstra and ALT search."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError, NotReachableError, VertexError
+from repro.graph import DiGraph, erdos_renyi, grid_road
+from repro.sssp import dijkstra
+from repro.sssp.point_to_point import ALTIndex, alt_search, bidirectional_dijkstra
+
+
+def path_cost(g, path, objective=0):
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += g.min_weight_between(u, v, objective)
+    return total
+
+
+ALGOS = [
+    ("bidir", lambda g, s, t: bidirectional_dijkstra(g, s, t)),
+    ("alt", lambda g, s, t: alt_search(g, s, t)),
+]
+
+
+@pytest.mark.parametrize("name,algo", ALGOS)
+class TestPointToPoint:
+    def test_line(self, name, algo):
+        g = DiGraph.from_edge_list(
+            4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]
+        )
+        path, d = algo(g, 0, 3)
+        assert path == [0, 1, 2, 3]
+        assert d == 6.0
+
+    def test_source_equals_destination(self, name, algo):
+        g = DiGraph.from_edge_list(2, [(0, 1, 1.0)])
+        path, d = algo(g, 0, 0)
+        assert path == [0]
+        assert d == 0.0
+
+    def test_unreachable_raises(self, name, algo):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(NotReachableError):
+            algo(g, 0, 2)
+
+    def test_bad_vertices(self, name, algo):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(VertexError):
+            algo(g, 9, 0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_distance_matches_dijkstra_er(self, name, algo, seed):
+        g = erdos_renyi(50, 250, seed=seed)
+        ref, _ = dijkstra(g, 0)
+        for t in (1, 17, 33, 49):
+            if not np.isfinite(ref[t]):
+                continue
+            path, d = algo(g, 0, t)
+            assert d == pytest.approx(ref[t])
+            assert path[0] == 0 and path[-1] == t
+            assert path_cost(g, path) == pytest.approx(d)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_grid(self, name, algo, seed):
+        g = grid_road(8, 8, seed=seed)
+        ref, _ = dijkstra(g, 0)
+        t = 63
+        if np.isfinite(ref[t]):
+            _, d = algo(g, 0, t)
+            assert d == pytest.approx(ref[t])
+
+
+class TestALTIndex:
+    def test_lower_bound_admissible(self):
+        g = erdos_renyi(40, 200, seed=7)
+        idx = ALTIndex(g, num_landmarks=4, seed=1)
+        ref, _ = dijkstra(g, 3)
+        for t in range(40):
+            if np.isfinite(ref[t]):
+                assert idx.lower_bound(3, t) <= ref[t] + 1e-9
+
+    def test_lower_bound_nonnegative(self):
+        g = erdos_renyi(20, 80, seed=8)
+        idx = ALTIndex(g, num_landmarks=3)
+        for v in range(20):
+            assert idx.lower_bound(v, 5) >= 0.0
+
+    def test_reused_index_many_queries(self):
+        g = grid_road(7, 7, seed=2)
+        idx = ALTIndex(g, num_landmarks=4)
+        ref, _ = dijkstra(g, 0)
+        for t in (10, 20, 30, 48):
+            if np.isfinite(ref[t]):
+                _, d = alt_search(g, 0, t, index=idx)
+                assert d == pytest.approx(ref[t])
+
+    def test_objective_mismatch_rejected(self):
+        g = erdos_renyi(10, 40, k=2, seed=0)
+        idx = ALTIndex(g, objective=0)
+        with pytest.raises(AlgorithmError):
+            alt_search(g, 0, 1, index=idx, objective=1)
+
+    def test_zero_landmarks_rejected(self):
+        g = erdos_renyi(5, 10, seed=0)
+        with pytest.raises(AlgorithmError):
+            ALTIndex(g, num_landmarks=0)
+
+    def test_second_objective(self):
+        g = erdos_renyi(30, 150, k=2, seed=9)
+        ref, _ = dijkstra(g, 0, objective=1)
+        idx = ALTIndex(g, objective=1)
+        t = 20
+        if np.isfinite(ref[t]):
+            _, d = alt_search(g, 0, t, index=idx, objective=1)
+            assert d == pytest.approx(ref[t])
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 5000), st.integers(0, 19), st.integers(0, 19))
+    def test_bidirectional_matches_dijkstra(self, seed, s, t):
+        g = erdos_renyi(20, 70, seed=seed % 101)
+        ref, _ = dijkstra(g, s)
+        if np.isfinite(ref[t]):
+            _, d = bidirectional_dijkstra(g, s, t)
+            assert d == pytest.approx(ref[t])
+        else:
+            with pytest.raises(NotReachableError):
+                bidirectional_dijkstra(g, s, t)
