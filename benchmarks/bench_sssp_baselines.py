@@ -80,6 +80,24 @@ class TestFullSSSP:
         )
         assert dist[0] == 0.0
 
+    def test_frontier_bellman_ford_csr_kernels(self, benchmark, road):
+        # new vs old kernel: the reverse-CSR gather + segmented-argmin
+        # variant of the frontier loop (repro.core.kernels), the same
+        # code mosp_update's Step 3 runs under use_csr_kernels=True
+        from repro.core.kernels import frontier_bellman_ford_csr
+        from repro.graph.csr import CSRGraph
+
+        csr = CSRGraph.ensure(road)
+        dist, _ = benchmark.pedantic(
+            lambda: frontier_bellman_ford_csr(csr, 0),
+            rounds=3, iterations=1,
+        )
+        ref, _ = frontier_bellman_ford(road, 0)
+        assert dist[0] == 0.0
+        import numpy as np
+
+        np.testing.assert_array_equal(dist, ref)
+
 
 class TestPointToPoint:
     DEST = 4321

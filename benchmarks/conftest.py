@@ -15,11 +15,41 @@ execution would add nothing but heat.
 from __future__ import annotations
 
 import os
+import random
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.bench.runner import set_bench_seed
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed",
+        type=int,
+        default=0,
+        help="single seed for all benchmark randomness (batch "
+        "generation via repro.bench.runner, plus the numpy/stdlib "
+        "global generators)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_seed(request) -> int:
+    """Seed every source of benchmark randomness exactly once.
+
+    The value flows to :func:`repro.bench.runner.set_bench_seed` (picked
+    up by every ``record_mosp_trace``/figure call that doesn't pin its
+    own seed) and to the ``numpy``/``random`` global generators.
+    """
+    seed = int(request.config.getoption("--bench-seed"))
+    set_bench_seed(seed)
+    random.seed(seed)
+    np.random.seed(seed)
+    return seed
 
 
 @pytest.fixture(scope="session")

@@ -28,7 +28,7 @@ def figure4_series(
     paper_batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
     threads: Sequence[int] = DEFAULT_THREADS,
     k: int = 2,
-    seed: int = 0,
+    seed: Optional[int] = None,
     traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
 ) -> Dict[str, Dict[int, List[Tuple[int, float]]]]:
     """Figure 4: time (ms) vs threads, one panel per dataset.
@@ -58,7 +58,7 @@ def figure5_series(
     paper_batch_size: int = 100_000,
     threads: Sequence[int] = DEFAULT_THREADS,
     k: int = 2,
-    seed: int = 0,
+    seed: Optional[int] = None,
     traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Figure 5: speedup vs single thread for ΔE = 100K (scaled).
@@ -84,7 +84,7 @@ def figure6_breakdown(
     paper_batch_size: int = 100_000,
     threads: int = 4,
     k: int = 2,
-    seed: int = 0,
+    seed: Optional[int] = None,
     traces: Optional[Dict[Tuple[str, int], MOSPTrace]] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 6: % of time per algorithm step at ``threads`` threads.

@@ -76,11 +76,28 @@ class MOSPTrace:
         }
 
 
+#: Session-wide default seed for benchmark batch generation; settable
+#: once from the harness (``pytest benchmarks/ --bench-seed N``) so
+#: every figure and table draws from the same reproducible stream.
+_BENCH_SEED = 0
+
+
+def set_bench_seed(seed: int) -> None:
+    """Set the session default seed used when callers pass ``seed=None``."""
+    global _BENCH_SEED
+    _BENCH_SEED = int(seed)
+
+
+def get_bench_seed() -> int:
+    """The session default benchmark seed (0 unless overridden)."""
+    return _BENCH_SEED
+
+
 def record_mosp_trace(
     dataset: str,
     paper_batch_size: int,
     k: int = 2,
-    seed: int = 0,
+    seed: Optional[int] = None,
     source: int = 0,
     weighting: str = "balanced",
 ) -> MOSPTrace:
@@ -92,7 +109,12 @@ def record_mosp_trace(
     from scratch (not timed — the paper also times only the update),
     the batch is applied, and the full :func:`mosp_update` pipeline
     runs under a recording :class:`SimulatedEngine`.
+
+    ``seed=None`` (the default) resolves to the session seed set by
+    :func:`set_bench_seed`.
     """
+    if seed is None:
+        seed = get_bench_seed()
     if dataset not in DATASETS:
         raise BenchmarkError(f"unknown dataset {dataset!r}")
     spec = DATASETS[dataset]

@@ -15,6 +15,12 @@
 - :func:`~repro.core.mosp_update.mosp_update` — **Algorithm 2**: the
   single-MOSP update heuristic (update trees → ensemble → parallel
   Bellman-Ford → real-weight reassignment).
+- :mod:`repro.core.kernels` — NumPy-vectorised CSR kernels behind the
+  ``use_csr_kernels=True`` fast path of both update entry points:
+  batched Step-1 group relaxation, reverse-CSR Step-2 frontier
+  propagation, and the combined-graph frontier Bellman-Ford, all
+  certified against the reference path by the differential test
+  harness.
 """
 
 from repro.core.ensemble import EnsembleGraph, build_ensemble

@@ -9,15 +9,27 @@ Collecting *unique* out-neighbours before the parallel relaxation is
 what restores vertex ownership in the propagation phase: each v ∈ N is
 owned by one task, which scans v's in-edges — so again no two tasks
 write the same distance.
+
+Two implementations of the gather: the original pointer-chasing walk
+over a :class:`~repro.graph.digraph.DiGraph`, and a vectorised variant
+over a :class:`~repro.graph.csr.CSRGraph` snapshot that slices the
+forward CSR for all affected vertices at once (used by the batched
+kernels in :mod:`repro.core.kernels`).  They return the same *set*; the
+CSR variant returns it sorted rather than in first-seen order, which
+the fixpoint iteration is insensitive to.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.graph.digraph import DiGraph
+import numpy as np
 
-__all__ = ["gather_unique_neighbors"]
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.types import IntArray
+
+__all__ = ["gather_unique_neighbors", "gather_unique_neighbors_csr"]
 
 
 def gather_unique_neighbors(
@@ -37,3 +49,34 @@ def gather_unique_neighbors(
                 seen.add(v)
                 out.append(v)
     return out
+
+
+def gather_unique_neighbors_csr(
+    csr: CSRGraph, affected: IntArray
+) -> IntArray:
+    """Vectorised unique-out-neighbour gather over a CSR snapshot.
+
+    Slices the forward CSR for every affected vertex in one shot (plus
+    a mask over the incremental COO tail) and deduplicates with
+    ``np.unique`` — O(Σ out-degree) array work, no per-edge Python.
+    Returns a **sorted** int array.
+    """
+    affected = np.asarray(affected, dtype=np.int64)
+    if affected.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = csr.indptr[affected].astype(np.int64)
+    ends = csr.indptr[affected + 1].astype(np.int64)
+    deg = ends - starts
+    total = int(deg.sum())
+    if total:
+        offsets = np.concatenate(([0], np.cumsum(deg)[:-1]))
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - offsets, deg
+        )
+        base = csr.indices[idx]
+    else:
+        base = np.empty(0, dtype=np.int64)
+    if csr.num_tail_edges:
+        hit = np.isin(csr.tail_src, affected)
+        base = np.concatenate((base, csr.tail_dst[hit]))
+    return np.unique(base).astype(np.int64)

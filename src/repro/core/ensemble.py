@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.tree import SOSPTree
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.api import Engine, parallel_for_slabs, resolve_engine
 from repro.types import DIST_DTYPE, NO_PARENT, VERTEX_DTYPE
 
 __all__ = ["build_ensemble", "EnsembleGraph", "vertex_ensemble_edges",
@@ -123,11 +123,71 @@ class EnsembleGraph:
     num_trees: int
 
 
+def _ensemble_edges_vectorized(
+    trees: Sequence[SOSPTree],
+    weighting: str,
+    prio,
+    eng: Engine,
+):
+    """Array path of the per-vertex parent comparison.
+
+    Stacks the ``(k, n)`` parent/dist matrices, covers the vertex range
+    with engine slabs (:func:`~repro.parallel.api.parallel_for_slabs`),
+    and inside each slab deduplicates the valid ``(v, parent)`` pairs
+    with one sort + segment count.  Pairs are emitted sorted by ``v``
+    within each slab, and slabs are concatenated in order, so the
+    emission order is ``v``-ascending overall — the same order the
+    per-vertex loop produces, which makes the frozen CSR arrays
+    byte-identical between the two paths.
+    """
+    k = len(trees)
+    n = trees[0].num_vertices
+    parents = np.stack([t.parent for t in trees]).astype(np.int64)
+    dists = np.stack([t.dist for t in trees])
+    valid = (parents != NO_PARENT) & np.isfinite(dists)
+    inv_prio = (1.0 / prio) if prio is not None else None
+
+    def run(lo: int, hi: int):
+        ti, vo = np.nonzero(valid[:, lo:hi])
+        if ti.size == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, np.empty(0, dtype=DIST_DTYPE), e
+        v = vo + lo
+        p = parents[ti, v]
+        key = v * n + p  # v-major, parent-minor pair key
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        cuts = np.flatnonzero(np.diff(key_s)) + 1
+        seg = np.concatenate(([0], cuts, [key_s.size]))
+        uniq = key_s[seg[:-1]]
+        cnt = np.diff(seg)
+        if weighting == "balanced":
+            w = (k - cnt + 1).astype(DIST_DTYPE)
+        elif weighting == "unit":
+            w = np.ones(uniq.size, dtype=DIST_DTYPE)
+        else:
+            pw = inv_prio[ti[order]]
+            w = np.minimum.reduceat(pw, seg[:-1])
+        # key = v*n + p, so parent (edge source) is the remainder
+        return uniq % n, uniq // n, w, cnt
+
+    results = parallel_for_slabs(
+        eng, n, run, work_fn=lambda span, r: k * (span[1] - span[0])
+    )
+    if not results:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, e.astype(DIST_DTYPE), e
+    return tuple(
+        np.concatenate([r[i] for r in results]) for i in range(4)
+    )
+
+
 def build_ensemble(
     trees: Sequence[SOSPTree],
     engine: Optional[Engine] = None,
     weighting: str = "balanced",
     priorities: Optional[Sequence[float]] = None,
+    vectorized: bool = False,
 ) -> EnsembleGraph:
     """Merge the per-objective SOSP trees into the combined graph.
 
@@ -145,6 +205,12 @@ def build_ensemble(
     priorities:
         Required for ``"priority"``: positive per-objective priorities;
         higher priority ⇒ lower ensemble weight ⇒ more likely chosen.
+    vectorized:
+        Use the batched array path
+        (:func:`_ensemble_edges_vectorized`) instead of one Python task
+        per vertex.  Both paths produce identical
+        :class:`EnsembleGraph` contents (same CSR arrays, same
+        occurrence counts).
 
     Returns
     -------
@@ -164,6 +230,23 @@ def build_ensemble(
             )
     prio = resolve_weighting(weighting, priorities, k)
     eng = resolve_engine(engine)
+
+    if vectorized:
+        e_src, e_dst, e_w, e_cnt = _ensemble_edges_vectorized(
+            trees, weighting, prio, eng
+        )
+        eng.charge(len(e_src))
+        occurrences = {
+            (int(p), int(v)): int(c)
+            for p, v, c in zip(e_src, e_dst, e_cnt)
+        }
+        csr = CSRGraph(
+            n,
+            e_src.astype(VERTEX_DTYPE),
+            e_dst.astype(VERTEX_DTYPE),
+            e_w.astype(DIST_DTYPE).reshape(-1, 1),
+        )
+        return EnsembleGraph(csr=csr, occurrences=occurrences, num_trees=k)
 
     per_vertex = eng.parallel_for(
         list(range(n)),

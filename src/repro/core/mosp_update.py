@@ -28,11 +28,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.core.kernels as kernels
 from repro.core.ensemble import EnsembleGraph, build_ensemble
 from repro.core.sosp_update import UpdateStats, sosp_update
 from repro.core.tree import SOSPTree
 from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError, NotReachableError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.parallel.api import Engine, resolve_engine
 from repro.sssp.bellman_ford import frontier_bellman_ford, parallel_bellman_ford
@@ -102,6 +104,8 @@ def mosp_update(
     weighting: str = "balanced",
     priorities: Optional[Sequence[float]] = None,
     step3: str = "frontier",
+    use_csr_kernels: bool = False,
+    csr: Optional[CSRGraph] = None,
 ) -> MOSPResult:
     """Run Algorithm 2 over the (already applied) change batch.
 
@@ -128,6 +132,27 @@ def mosp_update(
         the two-queue implementations the paper cites) or ``"rounds"``
         (full edge-relaxation rounds, the textbook parallel
         Bellman-Ford; identical results, different work profile).
+    use_csr_kernels:
+        Route every stage through the vectorised CSR kernels of
+        :mod:`repro.core.kernels`: per-objective tree updates run the
+        batched Step-1/Step-2 arrays path of
+        :func:`~repro.core.sosp_update.sosp_update`, the ensemble is
+        built with ``vectorized=True``, and (for ``step3="frontier"``)
+        Step 3 runs :func:`~repro.core.kernels.frontier_bellman_ford_csr`
+        on the combined graph.  Every distance (per-objective SOSP and
+        combined-graph) is identical either way; where the combined
+        graph admits several equally short parents — common, since its
+        weights are the small integers ``k − x + 1`` — the two Step-3
+        kernels may break the tie differently, yielding a different but
+        equally optimal MOSP path (and hence real-weight vector) for
+        the affected vertices.
+    csr:
+        Optional incrementally maintained
+        :class:`~repro.graph.csr.CSRGraph` snapshot of ``graph``
+        (``use_csr_kernels=True`` only); one snapshot is frozen from
+        ``graph`` per call when omitted.  Callers maintaining it across
+        batches must ``csr.append_batch(batch)`` alongside
+        ``batch.apply_to(graph)``.
 
     Returns
     -------
@@ -196,10 +221,16 @@ def mosp_update(
             if fd.insert_stats is not None:
                 result.update_stats.append(fd.insert_stats)
     elif batch is not None and batch.num_insertions:
+        snapshot: Optional[CSRGraph] = None
+        if use_csr_kernels:
+            snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
         for i in range(k):
             stats = timed(
                 f"sosp_update_{i}",
-                lambda i=i: sosp_update(graph, trees[i], batch, engine=eng),
+                lambda i=i: sosp_update(
+                    graph, trees[i], batch, engine=eng,
+                    use_csr_kernels=use_csr_kernels, csr=snapshot,
+                ),
             )
             result.update_stats.append(stats)
 
@@ -207,13 +238,21 @@ def mosp_update(
     ensemble = timed(
         "ensemble",
         lambda: build_ensemble(trees, engine=eng, weighting=weighting,
-                               priorities=priorities),
+                               priorities=priorities,
+                               vectorized=use_csr_kernels),
     )
     result.ensemble = ensemble
 
     # ------------------------------------------------------ step 3
     if step3 == "frontier":
-        bf = lambda: frontier_bellman_ford(ensemble.csr, source, engine=eng)
+        if use_csr_kernels:
+            bf = lambda: kernels.frontier_bellman_ford_csr(
+                ensemble.csr, source, engine=eng
+            )
+        else:
+            bf = lambda: frontier_bellman_ford(
+                ensemble.csr, source, engine=eng
+            )
     elif step3 == "rounds":
         bf = lambda: parallel_bellman_ford(ensemble.csr, source, engine=eng)
     else:

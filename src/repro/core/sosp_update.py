@@ -25,16 +25,19 @@ O(|ΔE| + affected subgraph), not O(|E|).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+import repro.core.kernels as kernels
 from repro.core.affected import gather_unique_neighbors
 from repro.core.grouping import group_by_destination
 from repro.core.tree import SOSPTree
 from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.parallel.api import Engine, resolve_engine
 from repro.parallel.atomics import OwnershipTracker
@@ -67,6 +70,10 @@ class UpdateStats:
         parent) changed — consumed by
         :class:`~repro.core.incremental_ensemble.IncrementalMOSP` to
         diff only the churned part of the ensemble.
+    step_seconds:
+        Wall-clock seconds per step: ``"step1"`` (changed-edge
+        application) and ``"step2"`` (frontier propagation) — the
+        old-vs-new kernel comparison the benchmarks report.
     """
 
     affected_initial: int = 0
@@ -76,6 +83,7 @@ class UpdateStats:
     relaxations: int = 0
     frontier_sizes: List[int] = field(default_factory=list)
     affected_vertices: set = field(default_factory=set)
+    step_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def sosp_update(
@@ -85,6 +93,8 @@ def sosp_update(
     engine: Optional[Engine] = None,
     use_grouping: bool = True,
     check_ownership: bool = False,
+    use_csr_kernels: bool = False,
+    csr: Optional[CSRGraph] = None,
 ) -> UpdateStats:
     """Update ``tree`` in place after the insertions in ``batch``.
 
@@ -114,6 +124,18 @@ def sosp_update(
         Enable the vertex-ownership assertion
         (:class:`~repro.parallel.atomics.OwnershipTracker`) — O(1) per
         write; used by the test suite.
+    use_csr_kernels:
+        ``True`` routes Steps 1–2 through the vectorised CSR kernels
+        (:mod:`repro.core.kernels`): batched group relaxation plus
+        whole-frontier reverse-CSR gathers instead of per-edge Python.
+        Results are identical (certified by the differential-oracle
+        suite); requires ``use_grouping=True``.
+    csr:
+        Optional CSR snapshot of the **updated** graph for the kernel
+        path.  Pass a snapshot maintained incrementally with
+        :meth:`~repro.graph.csr.CSRGraph.append_batch` to amortise the
+        freeze across batches; ``None`` freezes ``graph`` on entry
+        (one O(|E|) pass).  Ignored when ``use_csr_kernels=False``.
 
     Returns
     -------
@@ -128,6 +150,11 @@ def sosp_update(
         raise AlgorithmError(
             f"tree spans {tree.num_vertices} vertices, graph has "
             f"{graph.num_vertices}; rebuild or grow the tree first"
+        )
+    if use_csr_kernels and not use_grouping:
+        raise AlgorithmError(
+            "use_csr_kernels implies destination grouping; the "
+            "ungrouped prior-work emulation has no vectorised variant"
         )
     eng = resolve_engine(engine)
     stats = UpdateStats()
@@ -146,7 +173,40 @@ def sosp_update(
     # endpoints have no surviving edge are dropped.
     batch = _normalize_against_graph(graph, batch, objective)
 
+    if use_csr_kernels:
+        snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
+        if snapshot.n != n:
+            raise AlgorithmError(
+                f"CSR snapshot spans {snapshot.n} vertices, graph has {n}"
+            )
+        if snapshot.num_edges != graph.num_edges:
+            raise AlgorithmError(
+                f"CSR snapshot has {snapshot.num_edges} edges, graph has "
+                f"{graph.num_edges}: pair batch.apply_to(graph) with "
+                f"snapshot.append_batch(batch) to keep them in sync"
+            )
+        src, dst, w_all = batch.insert_records()
+        t0 = time.perf_counter()
+        affected_arr, scanned = kernels.relax_batch_groups(
+            src, dst, w_all[:, objective], dist, parent, marked,
+            engine=eng, tracker=tracker,
+        )
+        stats.step_seconds["step1"] = time.perf_counter() - t0
+        stats.step1_passes = 1
+        stats.relaxations += scanned
+        stats.affected_initial = int(affected_arr.size)
+        stats.affected_total = int(affected_arr.size)
+        stats.affected_vertices.update(affected_arr.tolist())
+        t0 = time.perf_counter()
+        kernels.propagate_csr(
+            snapshot, dist, parent, marked, affected_arr,
+            objective=objective, engine=eng, stats=stats, tracker=tracker,
+        )
+        stats.step_seconds["step2"] = time.perf_counter() - t0
+        return stats
+
     # ------------------------------------------------------ step 0 + 1
+    t0 = time.perf_counter()
     if use_grouping:
         affected = _step1_grouped(
             batch, objective, dist, parent, marked, eng, stats, tracker
@@ -155,11 +215,13 @@ def sosp_update(
         affected = _step1_ungrouped(
             batch, objective, dist, parent, marked, eng, stats
         )
+    stats.step_seconds["step1"] = time.perf_counter() - t0
     stats.affected_initial = len(affected)
     stats.affected_total = len(affected)
     stats.affected_vertices.update(affected)
 
     # ---------------------------------------------------------- step 2
+    t0 = time.perf_counter()
     weights_col = graph.weight_column(objective)
     while affected:
         if tracker is not None:
@@ -199,6 +261,7 @@ def sosp_update(
         affected = [v for v, _ in results if v >= 0]
         stats.affected_total += len(affected)
         stats.affected_vertices.update(affected)
+    stats.step_seconds["step2"] = time.perf_counter() - t0
     return stats
 
 

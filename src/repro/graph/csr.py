@@ -1,4 +1,4 @@
-"""Immutable compressed sparse-row (CSR) snapshots of a digraph.
+"""Compressed sparse-row (CSR) snapshots of a digraph, with incremental append.
 
 The vectorised kernels (Bellman-Ford rounds, batched relaxation of
 affected frontiers) want cache-friendly contiguous arrays rather than
@@ -10,6 +10,20 @@ A :class:`CSRGraph` freezes a digraph into
   mapping reverse positions back to forward edge rows,
 
 so both "neighbours of u" and "predecessors of v" are O(degree) slices.
+
+Incremental append (the dynamic-batch story)
+--------------------------------------------
+A frozen snapshot would force an O(|E|) re-freeze after every change
+batch, wiping out the point of an O(affected) update algorithm.
+:meth:`CSRGraph.append_edges` therefore follows an **append-or-rebuild
+policy**: appended edges land in a small COO *tail* (``tail_src`` /
+``tail_dst`` / ``tail_weights``) in O(|batch|); only when the tail
+outgrows ``max(MIN_TAIL_REBUILD, TAIL_REBUILD_FRACTION * m)`` is the
+whole structure re-frozen, so the amortised per-batch cost stays
+O(|batch|).  The per-vertex query methods merge the tail transparently;
+whole-array consumers (``indptr``/``indices``/``src``/...) see only the
+frozen base and must call :meth:`compact` first — or go through
+:meth:`ensure`, which static solvers use at their entry points.
 """
 
 from __future__ import annotations
@@ -26,14 +40,15 @@ __all__ = ["CSRGraph"]
 
 
 class CSRGraph:
-    """Frozen CSR snapshot with forward and reverse adjacency.
+    """CSR snapshot with forward and reverse adjacency plus a COO tail.
 
     Attributes
     ----------
     n, m, k:
-        Vertex count, edge count, number of objectives.
+        Vertex count, **frozen-base** edge count, number of objectives.
+        ``num_edges`` additionally counts the appended tail.
     indptr, indices:
-        Forward CSR: out-neighbours of ``u`` are
+        Forward CSR over the frozen base: out-neighbours of ``u`` are
         ``indices[indptr[u]:indptr[u+1]]``.
     weights:
         ``(m, k)`` float64, row ``i`` is the weight vector of forward
@@ -48,7 +63,16 @@ class CSRGraph:
     src:
         ``(m,)`` tail vertex of each forward edge row (the COO twin of
         the forward CSR, kept because edge-centric kernels want it).
+    tail_src, tail_dst, tail_weights:
+        Edges appended since the last freeze (COO, insertion order);
+        empty on a compact snapshot.
     """
+
+    #: Rebuild when the tail exceeds this fraction of the frozen base.
+    TAIL_REBUILD_FRACTION = 0.25
+    #: ... but never rebuild for tails smaller than this (absorbs tiny
+    #: batches on tiny graphs without thrashing).
+    MIN_TAIL_REBUILD = 64
 
     __slots__ = (
         "n",
@@ -61,6 +85,9 @@ class CSRGraph:
         "rev_indptr",
         "rev_indices",
         "edge_perm",
+        "tail_src",
+        "tail_dst",
+        "tail_weights",
     )
 
     def __init__(
@@ -70,6 +97,22 @@ class CSRGraph:
         dst: IntArray,
         weights: FloatArray,
     ) -> None:
+        src, dst, weights = self._coerce_edges(src, dst, weights)
+        if int(n) >= 0 and len(src) and (
+            src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n
+        ):
+            raise VertexError(int(max(src.max(initial=0), dst.max(initial=0))), n)
+        self.n = int(n)
+        self.k = int(weights.shape[1])
+        self._freeze(src, dst, weights)
+        self.tail_src = np.empty(0, dtype=VERTEX_DTYPE)
+        self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
+        self.tail_weights = np.empty((0, self.k), dtype=DIST_DTYPE)
+
+    @staticmethod
+    def _coerce_edges(
+        src: IntArray, dst: IntArray, weights: FloatArray
+    ) -> Tuple[IntArray, IntArray, FloatArray]:
         src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
         dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
         weights = np.ascontiguousarray(weights, dtype=DIST_DTYPE)
@@ -78,12 +121,12 @@ class CSRGraph:
         m = src.shape[0]
         if dst.shape[0] != m or weights.shape[0] != m:
             raise GraphError("src/dst/weights length mismatch")
-        if m and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
-            raise VertexError(int(max(src.max(initial=0), dst.max(initial=0))), n)
+        return src, dst, weights
 
-        self.n = int(n)
-        self.m = int(m)
-        self.k = int(weights.shape[1])
+    def _freeze(self, src: IntArray, dst: IntArray, weights: FloatArray) -> None:
+        """(Re)build the sorted base arrays from COO edges."""
+        n = self.n
+        self.m = int(src.shape[0])
 
         # forward CSR: stable sort edges by src
         order = np.argsort(src, kind="stable")
@@ -110,58 +153,184 @@ class CSRGraph:
         src, dst, w = g.edge_arrays()
         return cls(g.num_vertices, src, dst, w)
 
+    @classmethod
+    def ensure(cls, graph) -> "CSRGraph":
+        """Coerce to a **compact** snapshot.
+
+        A :class:`DiGraph` is frozen; a :class:`CSRGraph` with a tail
+        is compacted in place (no-op when already compact).  This is
+        the entry point the static SSSP solvers use, so an
+        incrementally appended snapshot is always safe to hand to them.
+        """
+        if isinstance(graph, cls):
+            graph.compact()
+            return graph
+        return cls.from_digraph(graph)
+
+    # ------------------------------------------------------------------
+    # incremental append (append-or-rebuild policy)
+    # ------------------------------------------------------------------
+    @property
+    def num_tail_edges(self) -> int:
+        """Edges currently in the appended COO tail."""
+        return int(self.tail_src.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge count: frozen base plus appended tail."""
+        return self.m + self.num_tail_edges
+
+    @property
+    def is_compact(self) -> bool:
+        """Whether all edges live in the sorted base (empty tail)."""
+        return self.num_tail_edges == 0
+
+    def append_edges(
+        self, src: IntArray, dst: IntArray, weights: FloatArray
+    ) -> None:
+        """Append a batch of edges in O(|batch|) amortised.
+
+        New edges go to the COO tail; when the tail outgrows
+        ``max(MIN_TAIL_REBUILD, TAIL_REBUILD_FRACTION * m)`` the whole
+        snapshot is re-frozen (and the tail emptied).  Query methods
+        see the appended edges immediately either way.
+        """
+        src, dst, weights = self._coerce_edges(src, dst, weights)
+        if weights.shape[1] != self.k:
+            raise GraphError(
+                f"appended weights have k={weights.shape[1]}, snapshot "
+                f"has k={self.k}"
+            )
+        if len(src) == 0:
+            return
+        if src.min() < 0 or src.max() >= self.n or dst.min() < 0 or dst.max() >= self.n:
+            raise VertexError(
+                int(max(src.max(initial=0), dst.max(initial=0))), self.n
+            )
+        self.tail_src = np.concatenate((self.tail_src, src))
+        self.tail_dst = np.concatenate((self.tail_dst, dst))
+        self.tail_weights = np.concatenate((self.tail_weights, weights))
+        limit = max(self.MIN_TAIL_REBUILD,
+                    int(self.TAIL_REBUILD_FRACTION * self.m))
+        if self.num_tail_edges > limit:
+            self.compact()
+
+    def append_batch(self, batch) -> None:
+        """Append the insertion records of a
+        :class:`~repro.dynamic.changes.ChangeBatch` (duck-typed to
+        avoid an import cycle).  Deletion records are rejected —
+        snapshots are incremental-insert only."""
+        if getattr(batch, "num_deletions", 0):
+            raise GraphError(
+                "CSR snapshots support insertion batches only; rebuild "
+                "with from_digraph() after deletions"
+            )
+        src, dst, w = batch.insert_records()
+        self.append_edges(src, dst, w)
+
+    def compact(self) -> None:
+        """Merge the tail into the sorted base (no-op when compact)."""
+        if self.is_compact:
+            return
+        src = np.concatenate((self.src, self.tail_src))
+        dst = np.concatenate((self.indices, self.tail_dst))
+        w = np.concatenate((self.weights, self.tail_weights))
+        # un-sort is unnecessary: _freeze stable-sorts by src, and the
+        # base is already src-sorted, so base rows keep their relative
+        # order and tail rows land after them within each bucket.
+        self._freeze(src, dst, w)
+        self.tail_src = np.empty(0, dtype=VERTEX_DTYPE)
+        self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
+        self.tail_weights = np.empty((0, self.k), dtype=DIST_DTYPE)
+
     # ------------------------------------------------------------------
     def out_neighbors(self, u: int) -> IntArray:
         """Array of out-neighbour ids of ``u`` (may contain repeats)."""
-        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+        base = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate((base, self.tail_dst[self.tail_src == u]))
 
     def out_weights(self, u: int, objective: int = 0) -> FloatArray:
         """Weights (one objective) of ``u``'s out-edges, aligned with
         :meth:`out_neighbors`."""
-        return self.weights[self.indptr[u] : self.indptr[u + 1], objective]
+        base = self.weights[self.indptr[u] : self.indptr[u + 1], objective]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate(
+            (base, self.tail_weights[self.tail_src == u, objective])
+        )
 
     def out_weight_vectors(self, u: int) -> FloatArray:
         """``(deg, k)`` weight vectors of ``u``'s out-edges."""
-        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+        base = self.weights[self.indptr[u] : self.indptr[u + 1]]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate((base, self.tail_weights[self.tail_src == u]))
 
     def in_neighbors(self, v: int) -> IntArray:
         """Array of predecessor ids of ``v``."""
-        return self.rev_indices[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+        base = self.rev_indices[self.rev_indptr[v] : self.rev_indptr[v + 1]]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate((base, self.tail_src[self.tail_dst == v]))
 
     def in_weights(self, v: int, objective: int = 0) -> FloatArray:
         """Weights (one objective) of ``v``'s in-edges, aligned with
         :meth:`in_neighbors`."""
         rows = self.edge_perm[self.rev_indptr[v] : self.rev_indptr[v + 1]]
-        return self.weights[rows, objective]
+        base = self.weights[rows, objective]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate(
+            (base, self.tail_weights[self.tail_dst == v, objective])
+        )
 
     def in_weight_vectors(self, v: int) -> FloatArray:
         """``(indeg, k)`` weight vectors of ``v``'s in-edges."""
         rows = self.edge_perm[self.rev_indptr[v] : self.rev_indptr[v + 1]]
-        return self.weights[rows]
+        base = self.weights[rows]
+        if self.num_tail_edges == 0:
+            return base
+        return np.concatenate((base, self.tail_weights[self.tail_dst == v]))
 
     def out_degree(self, u: int) -> int:
         """Out-degree of ``u``."""
-        return int(self.indptr[u + 1] - self.indptr[u])
+        deg = int(self.indptr[u + 1] - self.indptr[u])
+        if self.num_tail_edges:
+            deg += int((self.tail_src == u).sum())
+        return deg
 
     def in_degree(self, v: int) -> int:
         """In-degree of ``v``."""
-        return int(self.rev_indptr[v + 1] - self.rev_indptr[v])
+        deg = int(self.rev_indptr[v + 1] - self.rev_indptr[v])
+        if self.num_tail_edges:
+            deg += int((self.tail_dst == v).sum())
+        return deg
 
     def edges(self) -> Iterator[Tuple[int, int, FloatArray]]:
-        """Yield ``(u, v, weight_vector)`` over all edges."""
+        """Yield ``(u, v, weight_vector)`` over all edges (base, then
+        appended tail)."""
         for i in range(self.m):
             yield int(self.src[i]), int(self.indices[i]), self.weights[i]
+        for j in range(self.num_tail_edges):
+            yield (
+                int(self.tail_src[j]),
+                int(self.tail_dst[j]),
+                self.tail_weights[j],
+            )
 
     def average_degree(self) -> float:
-        """Mean out-degree ``m / n``."""
-        return self.m / self.n if self.n else 0.0
+        """Mean out-degree ``num_edges / n``."""
+        return self.num_edges / self.n if self.n else 0.0
 
     def to_digraph(self) -> DiGraph:
         """Thaw back into a mutable :class:`DiGraph`."""
         g = DiGraph(self.n, self.k)
-        for i in range(self.m):
-            g.add_edge(int(self.src[i]), int(self.indices[i]), self.weights[i])
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
         return g
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"CSRGraph(n={self.n}, m={self.m}, k={self.k})"
+        tail = f", tail={self.num_tail_edges}" if self.num_tail_edges else ""
+        return f"CSRGraph(n={self.n}, m={self.m}, k={self.k}{tail})"

@@ -100,3 +100,14 @@ def validate_csr(csr: CSRGraph) -> None:
         if csr.src[row] != csr.rev_indices[j]:
             raise GraphError(f"edge_perm[{j}] maps to a different tail vertex")
     check_weights(csr.weights, csr.k)
+    # the incremental COO tail, when present
+    if csr.num_tail_edges:
+        if csr.tail_dst.shape[0] != csr.num_tail_edges or (
+            csr.tail_weights.shape != (csr.num_tail_edges, csr.k)
+        ):
+            raise GraphError("tail arrays disagree on edge count")
+        if csr.tail_src.min() < 0 or csr.tail_src.max() >= csr.n or (
+            csr.tail_dst.min() < 0 or csr.tail_dst.max() >= csr.n
+        ):
+            raise GraphError("tail endpoints out of range")
+        check_weights(csr.tail_weights, csr.k)

@@ -31,7 +31,12 @@ All engines implement the :class:`~repro.parallel.api.Engine` protocol:
 clock; a no-op outside the simulated engine).
 """
 
-from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.api import (
+    Engine,
+    parallel_for_slabs,
+    resolve_engine,
+    slab_spans,
+)
 from repro.parallel.atomics import OwnershipTracker
 from repro.parallel.backends.processes import ProcessEngine
 from repro.parallel.backends.serial import SerialEngine
@@ -47,6 +52,8 @@ from repro.parallel.cost import WorkMeter
 __all__ = [
     "Engine",
     "resolve_engine",
+    "slab_spans",
+    "parallel_for_slabs",
     "SerialEngine",
     "ThreadEngine",
     "ProcessEngine",

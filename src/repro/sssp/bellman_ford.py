@@ -36,7 +36,7 @@ __all__ = ["bellman_ford", "parallel_bellman_ford", "frontier_bellman_ford"]
 
 
 def _to_csr(graph: Union[DiGraph, CSRGraph]) -> CSRGraph:
-    return graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    return CSRGraph.ensure(graph)
 
 
 def bellman_ford(

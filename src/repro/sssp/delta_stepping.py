@@ -40,7 +40,7 @@ def delta_stepping(
 
     Returns ``(dist, parent)``.
     """
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    csr = CSRGraph.ensure(graph)
     n = csr.n
     if not 0 <= source < n:
         raise VertexError(source, n, "delta_stepping source")

@@ -68,7 +68,7 @@ def dijkstra(
     >>> parent.tolist()
     [-1, 0, 1]
     """
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    csr = CSRGraph.ensure(graph)
     n = csr.n
     if not 0 <= source < n:
         raise VertexError(source, n, "dijkstra source")

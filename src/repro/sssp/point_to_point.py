@@ -31,7 +31,7 @@ __all__ = ["bidirectional_dijkstra", "ALTIndex", "alt_search"]
 
 
 def _to_csr(graph: Union[DiGraph, CSRGraph]) -> CSRGraph:
-    return graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    return CSRGraph.ensure(graph)
 
 
 def _walk_parents(parents, source, v) -> List[int]:

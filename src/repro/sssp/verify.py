@@ -43,7 +43,7 @@ def certify_sssp(
 ) -> None:
     """Raise :class:`TreeInvariantError` unless ``(dist, parent)`` is a
     correct SSSP solution for ``graph``/``source``/``objective``."""
-    csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+    csr = CSRGraph.ensure(graph)
     n = csr.n
     dist = np.asarray(dist, dtype=float)
     parent = np.asarray(parent)

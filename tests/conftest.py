@@ -1,0 +1,34 @@
+"""Shared test configuration.
+
+Registers the hypothesis *settings profiles* used by the property
+suites:
+
+- ``default`` — 200 examples per property, the certification bar the
+  differential kernel oracle (``test_kernels_differential.py``) is
+  required to clear locally;
+- ``ci`` — a capped profile for the fast continuous-integration job,
+  selected with ``HYPOTHESIS_PROFILE=ci``.
+
+Properties that pin their own ``@settings(max_examples=...)`` (the
+older suites) are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
