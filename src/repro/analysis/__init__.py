@@ -1,0 +1,53 @@
+"""Repo-specific static analysis: the concurrency-invariant linter.
+
+The paper's correctness argument is a *discipline*, not a mechanism:
+grouping inserted edges by destination vertex means each vertex is
+written by exactly one task per superstep, so the ``parallel_for``
+loops of Algorithms 1-2 are race-free without locks (§3.1).  The
+dynamic side of that argument is :class:`~repro.parallel.atomics.
+OwnershipTracker`; this package is the static side — an AST linter
+that machine-checks the invariants every PR must preserve:
+
+=====  ==============================================================
+R001   task functions passed to ``parallel_for`` / ``map_reduce`` /
+       ``parallel_for_slabs`` must not mutate closed-over shared
+       mutables unless the writes are registered with an
+       :class:`OwnershipTracker` (``record_write``)
+R002   no unseeded global RNG (``random.*`` / ``np.random.*``
+       module-level) — randomness flows through explicit
+       ``numpy.random.Generator`` parameters
+R003   no bare/overbroad ``except`` and no silent exception
+       swallowing
+R004   public functions in ``core/``, ``parallel/``, and ``graph/``
+       are fully type-annotated
+R005   no wall-clock ``time.time`` outside the bench harness (the
+       simulated engine's virtual clock is the only sanctioned
+       notion of time elsewhere)
+=====  ==============================================================
+
+Run it as ``python -m repro.analysis src tests``.  Suppress a finding
+on one line with ``# repro: noqa(R00x)`` (or a blanket
+``# repro: noqa``) — reserved for documented intentional cases.
+
+See ``docs/INVARIANTS.md`` for the mapping from each rule to the
+paper section / design invariant it enforces.
+"""
+
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.runner import (
+    FileContext,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "FileContext",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

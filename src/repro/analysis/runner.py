@@ -1,0 +1,195 @@
+"""Linter driver: file discovery, rule dispatch, noqa suppression.
+
+The driver is deliberately dependency-free (stdlib ``ast`` + ``re``)
+so the gate runs anywhere the package imports — CI, pre-commit, or a
+contributor's bare virtualenv — with no tooling to install.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "FileContext", "lint_source", "lint_file", "lint_paths"]
+
+#: Line-level suppression: ``# repro: noqa`` (blanket) or
+#: ``# repro: noqa(R001)`` / ``# repro: noqa(R001, R003)`` (targeted).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\(\s*([R0-9,\s]*)\))?", re.IGNORECASE)
+
+#: Directories never walked: the fixture corpus *must* contain
+#: violations (it proves each rule fires), so it is linted only
+#: explicitly by the test suite via :func:`lint_file`.
+_SKIP_DIR_PARTS = frozenset({"fixtures", "__pycache__", ".git", ".hypothesis"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: CODE msg`` shape."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message}  [fix: {self.hint}]"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    lines: List[str]
+    #: Path of the file relative to the ``repro`` package root, e.g.
+    #: ``core/kernels.py``; ``None`` when the file is outside it.
+    repro_rel: Optional[str]
+    #: True when the file lives under a ``tests/`` directory.
+    in_tests: bool
+    #: Child -> parent links for every AST node (``ast`` has none).
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        parts = Path(path).parts
+        repro_rel: Optional[str] = None
+        if "repro" in parts:
+            idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+            tail = parts[idx + 1 :]
+            if tail:
+                repro_rel = "/".join(tail)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            repro_rel=repro_rel,
+            in_tests="tests" in parts,
+            parents=parents,
+        )
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+
+def _suppressed_codes(line_text: str) -> Optional[Set[str]]:
+    """Codes suppressed on this physical line.
+
+    Returns ``None`` when there is no noqa comment, an empty set for a
+    blanket ``# repro: noqa``, and a set of codes for the targeted form.
+    """
+    m = _NOQA_RE.search(line_text)
+    if m is None:
+        return None
+    raw = m.group(1)
+    if raw is None:
+        return set()
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+def _apply_noqa(findings: Iterable[Finding], lines: Sequence[str]) -> List[Finding]:
+    kept: List[Finding] = []
+    for f in findings:
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        codes = _suppressed_codes(text)
+        if codes is None:
+            kept.append(f)
+        elif codes and f.code.upper() not in codes:
+            kept.append(f)
+        # blanket noqa (empty set) or matching code: suppressed
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Set[str]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Lint one source string and return surviving findings.
+
+    ``select`` restricts to a set of rule codes; ``respect_scope=False``
+    runs every selected rule regardless of the file's location (the
+    fixture-corpus tests use this so fixtures can live under
+    ``tests/`` while exercising src-only rules).
+    """
+    from repro.analysis.rules import ALL_RULES
+
+    ctx = FileContext.parse(path, source)
+    findings: List[Finding] = []
+    for rule in ALL_RULES:
+        if select is not None and rule.code not in select:
+            continue
+        if respect_scope and not rule.applies(ctx):
+            continue
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return _apply_noqa(findings, ctx.lines)
+
+
+def lint_file(
+    path: str,
+    select: Optional[Set[str]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Lint one file on disk (see :func:`lint_source`)."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(
+        source, path=str(path), select=select, respect_scope=respect_scope
+    )
+
+
+def _iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for p in sorted(root.rglob("*.py")):
+        if _SKIP_DIR_PARTS.intersection(p.parts):
+            continue
+        yield p
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Set[str]] = None
+) -> Tuple[List[Finding], List[str]]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that
+    failed to parse (reported, never silently skipped).
+    """
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            errors.append(f"{raw}: no such file or directory")
+            continue
+        for p in _iter_python_files(root):
+            try:
+                findings.extend(lint_file(str(p), select=select))
+            except SyntaxError as exc:
+                errors.append(f"{p}: syntax error: {exc.msg} (line {exc.lineno})")
+    return findings, errors

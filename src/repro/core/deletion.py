@@ -37,6 +37,7 @@ from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError
 from repro.graph.digraph import DiGraph
 from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.atomics import resolve_tracker
 from repro.types import INF, NO_PARENT
 
 __all__ = ["sosp_update_fulldynamic", "FullDynamicStats"]
@@ -147,16 +148,22 @@ def _process_deletions(
     eng.charge(len(dirty))
 
     # phase 2: repair.  Dirty vertices relax against *any* finite
-    # predecessor; improvements then propagate to out-neighbours.
+    # predecessor; improvements then propagate to out-neighbours.  Each
+    # frontier vertex is owned by exactly one task (the frontier is a
+    # set), the same single-writer argument as Algorithm 1 Step 2.
     weights_col = graph.weight_column(objective)
+    tracker = resolve_tracker(None, eng)
     frontier = sorted(dirty)
     touched: Set[int] = set(dirty)
     iterations = 0
     relaxations = 0
     while frontier:
         iterations += 1
+        if tracker is not None:
+            tracker.next_superstep()
 
-        def relax(v):
+        def relax(task_item: Tuple[int, int]) -> Tuple[int, int]:
+            task_id, v = task_item
             best = dist[v]
             best_u = -1
             scanned = 0
@@ -167,13 +174,17 @@ def _process_deletions(
                     best = nd
                     best_u = u
             if best_u >= 0:
+                if tracker is not None:
+                    tracker.record_write(v, task_id)
                 dist[v] = best
                 parent[v] = best_u
                 return v, scanned
             return -1, scanned
 
         results = eng.parallel_for(
-            frontier, relax, work_fn=lambda v, r: max(1, r[1])
+            list(enumerate(frontier)),
+            relax,
+            work_fn=lambda item, r: max(1, r[1]),
         )
         relaxations += sum(r[1] for r in results)
         improved = [v for v, _ in results if v >= 0]

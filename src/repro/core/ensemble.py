@@ -35,15 +35,21 @@ from repro.core.tree import SOSPTree
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.parallel.api import Engine, parallel_for_slabs, resolve_engine
-from repro.types import DIST_DTYPE, NO_PARENT, VERTEX_DTYPE
+from repro.types import (
+    DIST_DTYPE,
+    NO_PARENT,
+    VERTEX_DTYPE,
+    FloatArray,
+    WeightVector,
+)
 
 __all__ = ["build_ensemble", "EnsembleGraph", "vertex_ensemble_edges",
            "resolve_weighting"]
 
 
 def resolve_weighting(
-    weighting: str, priorities, k: int
-):
+    weighting: str, priorities: Optional[WeightVector], k: int
+) -> Optional[FloatArray]:
     """Validate the weighting scheme; return the priorities array (or
     ``None`` for non-priority schemes)."""
     if weighting not in ("balanced", "priority", "unit"):
@@ -67,7 +73,7 @@ def vertex_ensemble_edges(
     trees: Sequence["SOSPTree"],
     v: int,
     weighting: str = "balanced",
-    prio=None,
+    prio: Optional[FloatArray] = None,
 ) -> List[Tuple[int, int, float]]:
     """The combined-graph in-edges of vertex ``v``: compare ``v``'s
     parents across all trees (the paper's per-vertex task, §4) and

@@ -32,13 +32,17 @@ Dijkstra recompute by the differential oracle in
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # circular at runtime: sosp_update imports kernels
+    from repro.core.sosp_update import UpdateStats
 
 from repro.core.affected import gather_unique_neighbors_csr
 from repro.graph.csr import CSRGraph
 from repro.parallel.api import Engine, parallel_for_slabs, resolve_engine
+from repro.parallel.atomics import OwnershipTracker, resolve_tracker
 from repro.types import DIST_DTYPE, INF, NO_PARENT, VERTEX_DTYPE, FloatArray, IntArray
 
 __all__ = [
@@ -124,9 +128,9 @@ def relax_batch_groups(
     w: FloatArray,
     dist: FloatArray,
     parent: IntArray,
-    marked,
+    marked: IntArray,
     engine: Optional[Engine] = None,
-    tracker=None,
+    tracker: Optional[OwnershipTracker] = None,
 ) -> Tuple[IntArray, int]:
     """Vectorised Step 0 + Step 1: group the inserted edges by
     destination and relax each group to its minimum in one pass.
@@ -142,6 +146,7 @@ def relax_batch_groups(
     vertices and the number of edge relaxations performed.
     """
     eng = resolve_engine(engine)
+    tracker = resolve_tracker(tracker, eng)
     b = len(src)
     if b == 0:
         return np.empty(0, dtype=np.int64), 0
@@ -186,12 +191,12 @@ def propagate_csr(
     csr: CSRGraph,
     dist: FloatArray,
     parent: IntArray,
-    marked,
+    marked: IntArray,
     affected: IntArray,
     objective: int = 0,
     engine: Optional[Engine] = None,
-    stats=None,
-    tracker=None,
+    stats: Optional["UpdateStats"] = None,
+    tracker: Optional[OwnershipTracker] = None,
 ) -> None:
     """Vectorised Step 2: propagate the update through the affected
     subgraph until the frontier is empty.
@@ -209,6 +214,7 @@ def propagate_csr(
     assertion exactly as the reference path does.
     """
     eng = resolve_engine(engine)
+    tracker = resolve_tracker(tracker, eng)
     w_col = csr.weights[:, objective]
     affected = np.asarray(affected, dtype=np.int64)
 

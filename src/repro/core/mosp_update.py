@@ -263,33 +263,52 @@ def mosp_update(
     result.parent = parent_c
 
     timed("reassign", lambda: _reassign_real_weights(
-        graph, source, dist_c, parent_c, result.dist_vectors
+        graph, source, dist_c, parent_c, result.dist_vectors, trees
     ))
     eng.charge(int(np.isfinite(dist_c).sum()))
     return result
 
 
 # ----------------------------------------------------------------------
-def _representative_weight(g: DiGraph, u: int, v: int) -> FloatArray:
+def _representative_weight(
+    g: DiGraph,
+    u: int,
+    v: int,
+    trees: Optional[Sequence[SOSPTree]] = None,
+) -> FloatArray:
     """The weight vector used when re-assigning hop ``(u, v)``.
 
-    Simple graphs (the usual case) have exactly one choice; among
-    parallel edges we take the lexicographically smallest weight vector
-    — a deterministic pick of a *real* edge (an element-wise min could
-    fabricate a vector no edge has).
+    Simple graphs (the usual case) have exactly one choice.  Among
+    parallel edges the hop must be priced with an edge some per-
+    objective tree actually certifies: the ensemble contains ``(u, v)``
+    because ``trees[i].parent[v] == u`` for at least one objective
+    ``i``, and that tree's certified edge is the parallel edge with the
+    minimal ``i``-th weight component (the one its relaxations used).
+    Pricing the hop with a *different* parallel edge can fabricate a
+    dominated path vector even when every tree is unique, which is
+    exactly the precondition of the paper's Pareto-optimality theorem.
+    Among the certified candidates (or all parallels, when no tree
+    owns the hop) we take the lexicographically smallest vector — a
+    deterministic pick of a real edge.
     """
-    best: Optional[FloatArray] = None
+    parallels: List[FloatArray] = []
     for vv, eid in g.out_edges(u):
-        if vv != v:
-            continue
-        w = g.weight(eid)
-        if best is None or tuple(w) < tuple(best):
-            best = w
-    if best is None:
+        if vv == v:
+            parallels.append(g.weight(eid))
+    if not parallels:
         raise AlgorithmError(
             f"combined-tree edge ({u}, {v}) does not exist in the graph"
         )
-    return best
+    candidates = parallels
+    if trees is not None and len(parallels) > 1:
+        certified = [
+            min(parallels, key=lambda w: (w[t.objective], *tuple(w)))
+            for t in trees
+            if t.parent[v] == u
+        ]
+        if certified:
+            candidates = certified
+    return min(candidates, key=tuple)
 
 
 def _reassign_real_weights(
@@ -298,11 +317,14 @@ def _reassign_real_weights(
     dist_c: FloatArray,
     parent_c: IntArray,
     out: FloatArray,
+    trees: Optional[Sequence[SOSPTree]] = None,
 ) -> None:
     """Algorithm 2's final move: walk the combined-graph SOSP tree in
-    BFS-from-root order, summing the original multi-weights."""
-    n = len(dist_c)
-    k = g.num_objectives
+    BFS-from-root order, summing the original multi-weights.
+
+    ``trees`` (the per-objective SOSP trees the ensemble was built
+    from) disambiguates parallel edges — see
+    :func:`_representative_weight`."""
     order = np.argsort(dist_c, kind="stable")  # parents precede children
     out[source] = 0.0
     for v in order:
@@ -312,4 +334,4 @@ def _reassign_real_weights(
         p = int(parent_c[v])
         if p == NO_PARENT:
             continue
-        out[v] = out[p] + _representative_weight(g, p, v)
+        out[v] = out[p] + _representative_weight(g, p, v, trees)

@@ -40,7 +40,7 @@ from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.parallel.api import Engine, resolve_engine
-from repro.parallel.atomics import OwnershipTracker
+from repro.parallel.atomics import OwnershipTracker, resolve_tracker
 
 __all__ = ["sosp_update", "UpdateStats"]
 
@@ -163,7 +163,11 @@ def sosp_update(
     objective = tree.objective
     n = graph.num_vertices
     marked = np.zeros(n, dtype=np.int8)
-    tracker = OwnershipTracker() if check_ownership else None
+    # explicit opt-in wins; otherwise a checked engine (resolve_engine
+    # checked=True / REPRO_CHECKED_ENGINES=1) supplies its own tracker
+    tracker = (
+        OwnershipTracker() if check_ownership else resolve_tracker(None, eng)
+    )
 
     # normalise the insertion records against the *live* graph: a batch
     # may insert and delete the same (u, v) edge (mixed batches apply

@@ -20,7 +20,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.sssp.recompute import recompute_sssp
 from repro.sssp.verify import certify_sssp
-from repro.types import NO_PARENT, FloatArray, IntArray
+from repro.types import NO_PARENT, BoolArray, FloatArray, IntArray
 
 __all__ = ["SOSPTree"]
 
@@ -93,7 +93,7 @@ class SOSPTree:
             self.source, self.dist.copy(), self.parent.copy(), self.objective
         )
 
-    def reachable_mask(self):
+    def reachable_mask(self) -> BoolArray:
         """Boolean mask of vertices with finite distance."""
         return np.isfinite(self.dist)
 

@@ -42,6 +42,14 @@ class VertexError(GraphError):
         super().__init__(msg)
         self.vertex = vertex
         self.n = n
+        self.context = context
+
+    def __reduce__(
+        self,
+    ) -> "tuple[type[VertexError], tuple[int, int, str]]":
+        # rich __init__ signatures need explicit pickle support: the
+        # process engine ships worker exceptions across processes
+        return type(self), (self.vertex, self.n, self.context)
 
 
 class EdgeError(GraphError):
@@ -78,6 +86,11 @@ class OwnershipViolation(EngineError):
         self.first_task = first_task
         self.second_task = second_task
 
+    def __reduce__(
+        self,
+    ) -> "tuple[type[OwnershipViolation], tuple[int, int, int]]":
+        return type(self), (self.vertex, self.first_task, self.second_task)
+
 
 class AlgorithmError(ReproError):
     """An algorithm received inputs violating its preconditions."""
@@ -96,6 +109,11 @@ class NotReachableError(AlgorithmError):
         )
         self.source = source
         self.destination = destination
+
+    def __reduce__(
+        self,
+    ) -> "tuple[type[NotReachableError], tuple[int, int]]":
+        return type(self), (self.source, self.destination)
 
 
 class BatchError(ReproError):

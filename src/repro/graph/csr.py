@@ -28,13 +28,16 @@ frozen base and must call :meth:`compact` first — or go through
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple, Union
 
 import numpy as np
 
 from repro.errors import GraphError, VertexError
 from repro.graph.digraph import DiGraph
 from repro.types import DIST_DTYPE, VERTEX_DTYPE, FloatArray, IntArray
+
+if TYPE_CHECKING:  # circular at runtime: dynamic.changes uses graphs
+    from repro.dynamic.changes import ChangeBatch
 
 __all__ = ["CSRGraph"]
 
@@ -154,7 +157,7 @@ class CSRGraph:
         return cls(g.num_vertices, src, dst, w)
 
     @classmethod
-    def ensure(cls, graph) -> "CSRGraph":
+    def ensure(cls, graph: Union[DiGraph, "CSRGraph"]) -> "CSRGraph":
         """Coerce to a **compact** snapshot.
 
         A :class:`DiGraph` is frozen; a :class:`CSRGraph` with a tail
@@ -215,7 +218,7 @@ class CSRGraph:
         if self.num_tail_edges > limit:
             self.compact()
 
-    def append_batch(self, batch) -> None:
+    def append_batch(self, batch: "ChangeBatch") -> None:
         """Append the insertion records of a
         :class:`~repro.dynamic.changes.ChangeBatch` (duck-typed to
         avoid an import cycle).  Deletion records are rejected —

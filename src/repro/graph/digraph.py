@@ -28,7 +28,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import EdgeError, VertexError, WeightError
-from repro.types import DIST_DTYPE, VERTEX_DTYPE, FloatArray
+from repro.types import DIST_DTYPE, VERTEX_DTYPE, FloatArray, WeightLike
 
 __all__ = ["DiGraph"]
 
@@ -153,7 +153,7 @@ class DiGraph:
             raise WeightError(f"weight vector {w.tolist()} has negative components")
         return w
 
-    def add_edge(self, u: int, v: int, weight) -> int:
+    def add_edge(self, u: int, v: int, weight: WeightLike) -> int:
         """Insert directed edge ``(u, v)`` with the given weight vector.
 
         Returns the edge id.  ``weight`` may be a scalar when ``k == 1``.
@@ -217,7 +217,7 @@ class DiGraph:
         self.remove_edge_id(best)
         return best
 
-    def set_weight(self, eid: int, weight) -> None:
+    def set_weight(self, eid: int, weight: WeightLike) -> None:
         """Overwrite the weight vector of live edge ``eid``."""
         if not 0 <= eid < len(self._src) or not self._alive[eid]:
             raise EdgeError(f"edge id {eid} is not a live edge")

@@ -23,13 +23,14 @@ deterministic given a seed.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.graph.multiweight import uniform_weights
+from repro.types import SeedLike
 
 __all__ = [
     "grid_road",
@@ -45,7 +46,7 @@ __all__ = [
 ]
 
 
-def _rng(seed) -> np.random.Generator:
+def _rng(seed: SeedLike) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
@@ -68,7 +69,7 @@ def grid_road(
     rows: int,
     cols: int,
     k: int = 1,
-    seed=0,
+    seed: SeedLike = 0,
     drop_fraction: float = 0.1,
     diagonal_fraction: float = 0.02,
     bidirectional: bool = True,
@@ -111,7 +112,7 @@ def grid_road(
     return _attach(g, pairs, k, rng)
 
 
-def road_like(n: int, k: int = 1, seed=0, **kwargs) -> DiGraph:
+def road_like(n: int, k: int = 1, seed: SeedLike = 0, **kwargs: Any) -> DiGraph:
     """A road-network stand-in with approximately ``n`` vertices.
 
     Convenience wrapper that picks grid dimensions near ``sqrt(n)`` and
@@ -132,7 +133,7 @@ def random_geometric(
     n: int,
     radius: Optional[float] = None,
     k: int = 1,
-    seed=0,
+    seed: SeedLike = 0,
     target_degree: float = 6.6,
     bidirectional: bool = True,
 ) -> DiGraph:
@@ -196,7 +197,7 @@ def random_geometric(
 # ----------------------------------------------------------------------
 # generic families (test fixtures, ablations)
 # ----------------------------------------------------------------------
-def erdos_renyi(n: int, m: int, k: int = 1, seed=0) -> DiGraph:
+def erdos_renyi(n: int, m: int, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """G(n, m): exactly ``m`` directed edges with distinct random pairs.
 
     Self-loops are excluded; pairs are sampled without replacement.
@@ -227,7 +228,7 @@ def erdos_renyi(n: int, m: int, k: int = 1, seed=0) -> DiGraph:
     return _attach(g, pairs, k, rng) if pairs else g
 
 
-def preferential_attachment(n: int, m_per_vertex: int = 2, k: int = 1, seed=0) -> DiGraph:
+def preferential_attachment(n: int, m_per_vertex: int = 2, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """Barabási–Albert-style scale-free digraph.
 
     Each new vertex attaches ``m_per_vertex`` out-edges to existing
@@ -254,7 +255,7 @@ def preferential_attachment(n: int, m_per_vertex: int = 2, k: int = 1, seed=0) -
     return _attach(g, pairs, k, rng)
 
 
-def layered_dag(layers: int, width: int, k: int = 1, seed=0,
+def layered_dag(layers: int, width: int, k: int = 1, seed: SeedLike = 0,
                 fanout: int = 3) -> DiGraph:
     """A layered DAG: ``layers`` layers of ``width`` vertices.
 
@@ -281,7 +282,7 @@ def layered_dag(layers: int, width: int, k: int = 1, seed=0,
     return _attach(g, pairs, k, rng) if pairs else g
 
 
-def path_graph(n: int, k: int = 1, seed=0) -> DiGraph:
+def path_graph(n: int, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """Directed path ``0 -> 1 -> ... -> n-1``."""
     if n < 1:
         raise GraphError("path_graph needs n >= 1")
@@ -291,7 +292,7 @@ def path_graph(n: int, k: int = 1, seed=0) -> DiGraph:
     return _attach(g, pairs, k, rng) if pairs else g
 
 
-def cycle_graph(n: int, k: int = 1, seed=0) -> DiGraph:
+def cycle_graph(n: int, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """Directed cycle on ``n`` vertices."""
     if n < 2:
         raise GraphError("cycle_graph needs n >= 2")
@@ -301,7 +302,7 @@ def cycle_graph(n: int, k: int = 1, seed=0) -> DiGraph:
     return _attach(g, pairs, k, rng)
 
 
-def complete_graph(n: int, k: int = 1, seed=0) -> DiGraph:
+def complete_graph(n: int, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """Complete digraph (every ordered pair, no self-loops)."""
     if n < 1:
         raise GraphError("complete_graph needs n >= 1")
@@ -311,7 +312,7 @@ def complete_graph(n: int, k: int = 1, seed=0) -> DiGraph:
     return _attach(g, pairs, k, rng) if pairs else g
 
 
-def star_graph(n: int, k: int = 1, seed=0) -> DiGraph:
+def star_graph(n: int, k: int = 1, seed: SeedLike = 0) -> DiGraph:
     """Star: centre 0 with edges to and from each leaf."""
     if n < 1:
         raise GraphError("star_graph needs n >= 1")

@@ -42,6 +42,7 @@ from repro.graph.digraph import DiGraph
 from repro.mosp.labels import Label, LabelSet
 from repro.mosp.martins import martins
 from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.atomics import resolve_tracker
 from repro.types import DIST_DTYPE, FloatArray
 
 __all__ = ["DynamicParetoFront", "FrontUpdateStats"]
@@ -307,6 +308,9 @@ class DynamicParetoFront:
     ) -> None:
         """Superstep-parallel label-correcting with vertex grouping."""
         g = self.graph
+        # a checked engine supplies a tracker; grouping by vertex means
+        # each Pareto set is mutated by exactly one task per superstep
+        tracker = resolve_tracker(None, self.engine)
         while candidates:
             stats.supersteps += 1
             stats.candidates += len(candidates)
@@ -315,12 +319,16 @@ class DynamicParetoFront:
             for lab in candidates:
                 groups.setdefault(lab.vertex, []).append(lab)
 
-            def process_group(item: Tuple[int, List[Label]]):
-                v, labs = item
+            def process_group(
+                item: Tuple[int, Tuple[int, List[Label]]]
+            ) -> Tuple[List[Label], int]:
+                task_id, (v, labs) = item
                 accepted = []
                 checks = 0
                 for lab in labs:
                     checks += len(self._sets[v])
+                    if tracker is not None:
+                        tracker.record_write(v, task_id)
                     if self._sets[v].insert(lab):
                         accepted.append(lab)
                 return accepted, checks
@@ -328,7 +336,7 @@ class DynamicParetoFront:
             # the coordinating thread — the provenance dicts are shared
 
             results = self.engine.parallel_for(
-                list(groups.items()),
+                list(enumerate(groups.items())),
                 process_group,
                 work_fn=lambda item, r: max(1, r[1]),
             )

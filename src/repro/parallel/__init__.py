@@ -39,6 +39,7 @@ from repro.parallel.api import (
 )
 from repro.parallel.atomics import OwnershipTracker
 from repro.parallel.backends.processes import ProcessEngine
+from repro.parallel.checked import CheckedEngine
 from repro.parallel.backends.serial import SerialEngine
 from repro.parallel.backends.simulated import (
     CostModel,
@@ -63,4 +64,5 @@ __all__ = [
     "replay_trace",
     "WorkMeter",
     "OwnershipTracker",
+    "CheckedEngine",
 ]

@@ -21,7 +21,19 @@ plain values.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+import os
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+    runtime_checkable,
+)
 
 from repro.errors import EngineError
 
@@ -81,7 +93,22 @@ class BaseEngine:
             raise EngineError(f"threads must be >= 1, got {threads}")
         self.threads = int(threads)
 
-    def map_reduce(self, items, fn, reduce_fn, init, work_fn=None):
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def map_reduce(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        reduce_fn: Callable[[Any, R], Any],
+        init: Any,
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> Any:
         acc = init
         for r in self.parallel_for(items, fn, work_fn=work_fn):
             acc = reduce_fn(acc, r)
@@ -96,7 +123,7 @@ class BaseEngine:
 
 def slab_spans(
     n_items: int, engine: "Engine", min_chunk: int = 1
-) -> List[tuple]:
+) -> List[Tuple[int, int]]:
     """Contiguous ``(lo, hi)`` spans covering ``range(n_items)``.
 
     The vectorised CSR kernels don't want one task per vertex — they
@@ -123,7 +150,7 @@ def parallel_for_slabs(
     engine: "Engine",
     n_items: int,
     fn: Callable[[int, int], R],
-    work_fn: Optional[Callable[[tuple, R], float]] = None,
+    work_fn: Optional[Callable[[Tuple[int, int], R], float]] = None,
     min_chunk: int = 1,
 ) -> List[R]:
     """One superstep over contiguous index slabs: ``fn(lo, hi)`` per slab.
@@ -140,21 +167,48 @@ def parallel_for_slabs(
     )
 
 
-def resolve_engine(engine=None, threads: int = 1) -> Engine:
+def resolve_engine(
+    engine: Optional[Union[str, Engine]] = None,
+    threads: int = 1,
+    checked: Optional[bool] = None,
+) -> Engine:
     """Coerce ``engine`` into an :class:`Engine` instance.
 
     Accepts an existing engine (returned unchanged), ``None`` (serial),
     or a backend name ``"serial" | "threads" | "processes" |
     "simulated"`` which is instantiated with ``threads``.
+
+    ``checked=True`` wraps the resolved backend — any family — in a
+    :class:`~repro.parallel.checked.CheckedEngine`, so every kernel run
+    on it registers vertex writes with an ownership tracker (the
+    dynamic sanitizer for the paper's §3.1 single-writer argument).
+    ``checked=None`` (the default) consults the
+    ``REPRO_CHECKED_ENGINES`` environment variable, which lets CI run
+    the whole tier-1 suite under checked engines without touching call
+    sites; ``checked=False`` forces wrapping off.  An engine that is
+    already checked is never double-wrapped.
     """
     # imports deferred to avoid a cycle with backends importing BaseEngine
     from repro.parallel.backends.processes import ProcessEngine
     from repro.parallel.backends.serial import SerialEngine
     from repro.parallel.backends.simulated import SimulatedEngine
     from repro.parallel.backends.threads import ThreadEngine
+    from repro.parallel.checked import CheckedEngine
+
+    if checked is None:
+        checked = os.environ.get("REPRO_CHECKED_ENGINES", "").strip() not in (
+            "",
+            "0",
+            "false",
+        )
+
+    def _wrap(resolved: Engine) -> Engine:
+        if checked and not isinstance(resolved, CheckedEngine):
+            return CheckedEngine(resolved)
+        return resolved
 
     if engine is None:
-        return SerialEngine()
+        return _wrap(SerialEngine())
     if isinstance(engine, str):
         table = {
             "serial": SerialEngine,
@@ -168,7 +222,7 @@ def resolve_engine(engine=None, threads: int = 1) -> Engine:
             raise EngineError(
                 f"unknown engine {engine!r}; expected one of {sorted(table)}"
             ) from None
-        return cls(threads=threads) if cls is not SerialEngine else cls()
+        return _wrap(cls(threads=threads) if cls is not SerialEngine else cls())
     if isinstance(engine, Engine):
-        return engine
+        return _wrap(engine)
     raise EngineError(f"cannot interpret {engine!r} as an engine")

@@ -15,11 +15,11 @@ benchmarks do not).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import OwnershipViolation
 
-__all__ = ["OwnershipTracker"]
+__all__ = ["OwnershipTracker", "resolve_tracker"]
 
 
 class OwnershipTracker:
@@ -65,3 +65,23 @@ class OwnershipTracker:
             f"OwnershipTracker(supersteps={self.supersteps}, "
             f"writes={self.writes})"
         )
+
+
+def resolve_tracker(
+    explicit: Optional[OwnershipTracker], engine: object
+) -> Optional[OwnershipTracker]:
+    """The tracker a kernel should report writes to, if any.
+
+    An explicitly passed tracker wins (the legacy
+    ``check_ownership=True`` path); otherwise a
+    :class:`~repro.parallel.checked.CheckedEngine` resolved with
+    ``checked=True`` exposes its tracker as ``engine.tracker`` and
+    every kernel picks it up automatically — that is what makes the
+    sanitizer one flag away on every backend family.
+    """
+    if explicit is not None:
+        return explicit
+    tracker = getattr(engine, "tracker", None)
+    if isinstance(tracker, OwnershipTracker):
+        return tracker
+    return None

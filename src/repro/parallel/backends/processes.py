@@ -74,7 +74,7 @@ class ProcessEngine(BaseEngine):
     def __enter__(self) -> "ProcessEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _fallback(self, items, fn):

@@ -65,7 +65,7 @@ class ThreadEngine(BaseEngine):
         self._ensure_pool()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def parallel_for(

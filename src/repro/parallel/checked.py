@@ -1,0 +1,108 @@
+"""The checked engine: ownership tracking one flag away, on any backend.
+
+:class:`~repro.parallel.atomics.OwnershipTracker` used to be opt-in
+per kernel call (``check_ownership=True``).  :class:`CheckedEngine`
+moves the opt-in to the *engine*: wrap any backend and every kernel
+that runs on it picks up the tracker automatically (kernels look for
+an ``engine.tracker`` attribute when no explicit tracker was passed),
+and the superstep boundary — one ``parallel_for`` — advances the
+tracker so stale writes from a previous superstep can't mask a race.
+
+Enable it per call site (``resolve_engine("threads", threads=4,
+checked=True)``) or globally for a whole test run with the
+``REPRO_CHECKED_ENGINES=1`` environment variable, which the dedicated
+CI job uses to execute the tier-1 suite under checked engines for
+every backend family.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from repro.parallel.atomics import OwnershipTracker
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["CheckedEngine"]
+
+
+class _LockedTracker(OwnershipTracker):
+    """An :class:`OwnershipTracker` whose write registration is guarded
+    by a lock, so the sanitizer itself is race-free under real-thread
+    backends (get-then-set on the writers dict is not atomic)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def record_write(self, vertex: int, task: int) -> None:
+        with self._lock:
+            super().record_write(vertex, task)
+
+
+class CheckedEngine:
+    """Wrap an engine with per-superstep vertex-ownership tracking.
+
+    Satisfies the :class:`~repro.parallel.api.Engine` protocol and
+    delegates everything else (``virtual_time``, ``trace``, ``close``,
+    ...) to the wrapped backend, so checked engines drop into any call
+    site that accepts an engine.
+
+    Attributes
+    ----------
+    inner:
+        The wrapped backend.
+    tracker:
+        The (thread-safe) :class:`OwnershipTracker` kernels report
+        their writes to.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        if isinstance(inner, CheckedEngine):
+            inner = inner.inner  # never stack sanitizers
+        self.inner = inner
+        self.tracker: OwnershipTracker = _LockedTracker()
+
+    @property
+    def name(self) -> str:
+        return f"checked({self.inner.name})"
+
+    @property
+    def threads(self) -> int:
+        return int(self.inner.threads)
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        self.tracker.next_superstep()
+        return self.inner.parallel_for(items, fn, work_fn=work_fn)
+
+    def map_reduce(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        reduce_fn: Callable[[Any, R], Any],
+        init: Any,
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> Any:
+        self.tracker.next_superstep()
+        return self.inner.map_reduce(
+            items, fn, reduce_fn, init, work_fn=work_fn
+        )
+
+    def charge(self, units: float) -> None:
+        self.inner.charge(units)
+
+    def __getattr__(self, attr: str) -> Any:
+        # backend-specific surface (virtual_time, trace, close, ...)
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckedEngine({self.inner!r})"

@@ -16,6 +16,8 @@ __all__ = [
     "Vertex",
     "EdgeTuple",
     "WeightVector",
+    "WeightLike",
+    "SeedLike",
     "FloatArray",
     "IntArray",
     "BoolArray",
@@ -35,6 +37,15 @@ EdgeTuple = Union[Tuple[int, int], Tuple[int, int, float]]
 
 #: Per-objective weight vector of an edge.
 WeightVector = Sequence[float]
+
+#: Anything accepted where an edge weight is expected: a scalar (when
+#: ``k == 1``), a per-objective sequence, or an ndarray row.
+WeightLike = Union[float, int, Sequence[float], np.ndarray]
+
+#: Anything accepted as a seed by the graph generators: an integer
+#: seed, ``None`` (fresh entropy), or an existing explicit Generator
+#: (the form R002 requires inside the library itself).
+SeedLike = Union[int, None, np.random.Generator]
 
 FloatArray = np.ndarray
 IntArray = np.ndarray

@@ -1,0 +1,24 @@
+"""Noqa fixture: every violation here carries a suppression comment,
+so the whole file must lint clean under every rule."""
+
+import time
+from typing import Any, Callable, List, Optional
+
+
+def blanket(engine: Any, items: List[int], hits: List[int]) -> List[int]:
+    def task(i):  # nested: exempt from R004
+        hits[i] = 1  # repro: noqa
+        return i
+
+    return engine.parallel_for(items, task)
+
+
+def targeted(fn: Callable[[], int]) -> Optional[int]:
+    try:
+        return fn()
+    except:  # repro: noqa(R003)
+        return None
+
+
+def multi_code() -> float:
+    return time.time()  # repro: noqa(R003, R005)

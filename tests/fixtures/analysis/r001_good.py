@@ -1,0 +1,34 @@
+"""R001 fixture: superstep tasks that are race-free by construction.
+
+Tasks either keep mutation local, return proposals for a sequential
+merge, or register their writes with an OwnershipTracker.
+"""
+
+
+def local_state_only(engine, items):
+    def task(v):
+        acc = []
+        acc.append(v * v)  # local list: not shared
+        return sum(acc)
+
+    return engine.parallel_for(items, task)
+
+
+def returns_proposals(engine, items, dist):
+    def task(v):
+        return v, dist[v] + 1.0  # read-only on shared state
+
+    results = engine.parallel_for(items, task)
+    for v, d in results:  # sequential merge outside the superstep
+        dist[v] = d
+    return dist
+
+
+def tracked_write(engine, items, dist, tracker):
+    def task(item):
+        task_id, v = item
+        tracker.record_write(v, task_id)
+        dist[v] = 0.0  # registered: single-writer invariant checkable
+        return v
+
+    return engine.parallel_for(list(enumerate(items)), task)

@@ -1,0 +1,20 @@
+"""R002 fixture: hidden global RNG state."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def scramble(xs):
+    shuffle(xs)  # the import itself is the violation
+    return xs
+
+
+def legacy_numpy_draw(n):
+    np.random.seed(0)
+    return np.random.uniform(size=n)
+
+
+def stdlib_draw():
+    return random.random()

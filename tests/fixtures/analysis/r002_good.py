@@ -1,0 +1,21 @@
+"""R002 fixture: explicit, seedable generators threaded as parameters."""
+
+import numpy as np
+from numpy.random import Generator, default_rng
+from random import Random
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng: Generator, n: int):
+    return rng.uniform(size=n)
+
+
+def stdlib_instance(seed):
+    return Random(seed).random()
+
+
+def module_constructor(seed):
+    return default_rng(seed)

@@ -1,0 +1,22 @@
+"""R003 fixture: bare/overbroad except and silent swallowing."""
+
+
+def bare_except(fn):
+    try:
+        return fn()
+    except:  # catches KeyboardInterrupt, SystemExit, everything
+        return None
+
+
+def overbroad_no_reraise(fn):
+    try:
+        return fn()
+    except Exception:
+        return None  # hides unrelated failures
+
+
+def silent_swallow(fn):
+    try:
+        return fn()
+    except ValueError:
+        pass  # error vanished without a trace

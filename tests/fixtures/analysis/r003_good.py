@@ -1,0 +1,25 @@
+"""R003 fixture: narrow handlers that handle or re-raise."""
+
+from repro.errors import EdgeError, GraphError
+
+
+def narrow_with_fallback(fn, default):
+    try:
+        return fn()
+    except EdgeError:
+        return default  # narrow class, meaningful recovery
+
+
+def broad_but_reraises(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise GraphError(f"wrapped: {exc}") from exc
+
+
+def narrow_with_logging(fn, log):
+    try:
+        return fn()
+    except KeyError as exc:
+        log.append(str(exc))
+        raise

@@ -1,0 +1,18 @@
+"""R004 fixture: public API missing type annotations."""
+
+
+def relax_edges(graph, frontier, dist):  # no annotations at all
+    return dist
+
+
+def partial(u: int, v) -> float:  # 'v' unannotated
+    return float(u + v)
+
+
+def no_return(u: int, v: int):  # missing return annotation
+    return u + v
+
+
+class PublicTree:
+    def rebuild(self, graph):  # method params unannotated
+        return graph

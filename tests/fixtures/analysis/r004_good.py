@@ -1,0 +1,28 @@
+"""R004 fixture: fully annotated public API; exempt shapes."""
+
+from typing import Any, List
+
+
+def relax_edges(graph: Any, frontier: List[int], dist: Any) -> Any:
+    return dist
+
+
+def variadic(*args: int, **kwargs: float) -> int:
+    return len(args) + len(kwargs)
+
+
+def _private_helper(graph, frontier):  # private: exempt
+    return frontier
+
+
+class PublicTree:
+    def rebuild(self, graph: Any) -> Any:  # self needs no annotation
+        def inner(x):  # nested: exempt
+            return x
+
+        return inner(graph)
+
+
+class _PrivateImpl:
+    def anything_goes(self, graph):  # private namespace: exempt
+        return graph

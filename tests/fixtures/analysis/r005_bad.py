@@ -1,0 +1,14 @@
+"""R005 fixture: wall-clock time.time outside the bench harness."""
+
+import time
+from time import time as _  # the import alone is flagged
+
+
+def stamp():
+    return time.time()
+
+
+def profile(fn):
+    t0 = time.time()
+    fn()
+    return time.time() - t0

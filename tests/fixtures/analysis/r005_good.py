@@ -1,0 +1,18 @@
+"""R005 fixture: monotonic/virtual clocks for profiling."""
+
+import time
+
+
+def profile(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def simulated(engine, items, task):
+    engine.parallel_for(items, task)
+    return engine.virtual_time
+
+
+def backoff():
+    time.sleep(0.0)  # sleeping is not reading the wall clock

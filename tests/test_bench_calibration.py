@@ -59,7 +59,9 @@ class TestProcessEngine:
         captured = []
 
         def closure(x):
-            captured.append(x)
+            # intentionally unpicklable shared state: proves the
+            # process engine's serial fallback still runs the closure
+            captured.append(x)  # repro: noqa(R001)
             return x + 1
 
         eng = ProcessEngine(threads=2, min_items_per_process=1)

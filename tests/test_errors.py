@@ -1,0 +1,113 @@
+"""Contract tests for the repro exception hierarchy."""
+
+import pickle
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    AlgorithmError,
+    BatchError,
+    BenchmarkError,
+    EdgeError,
+    EngineError,
+    GraphError,
+    IOFormatError,
+    NotReachableError,
+    OwnershipViolation,
+    ReproError,
+    TreeInvariantError,
+    VertexError,
+    WeightError,
+)
+
+LEAF_CLASSES = [
+    GraphError, VertexError, EdgeError, WeightError, EngineError,
+    OwnershipViolation, AlgorithmError, TreeInvariantError,
+    NotReachableError, BatchError, IOFormatError, BenchmarkError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", LEAF_CLASSES)
+    def test_everything_derives_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_structure(self):
+        assert issubclass(VertexError, GraphError)
+        assert issubclass(EdgeError, GraphError)
+        assert issubclass(WeightError, GraphError)
+        assert issubclass(OwnershipViolation, EngineError)
+        assert issubclass(TreeInvariantError, AlgorithmError)
+        assert issubclass(NotReachableError, AlgorithmError)
+
+    def test_all_exports_exist_and_are_complete(self):
+        exported = set(errors_mod.__all__)
+        defined = {
+            name
+            for name, obj in vars(errors_mod).items()
+            if isinstance(obj, type) and issubclass(obj, ReproError)
+        }
+        defined.add("ReproError")
+        assert exported == defined
+
+    def test_single_except_catches_library_failures(self):
+        with pytest.raises(ReproError):
+            raise OwnershipViolation(1, 0, 2)
+
+
+class TestAttributes:
+    def test_vertex_error(self):
+        exc = VertexError(12, 10, context="add_edge")
+        assert exc.vertex == 12 and exc.n == 10
+        msg = str(exc)
+        assert "vertex 12" in msg and "[0, 10)" in msg
+        assert msg.startswith("add_edge:")
+
+    def test_vertex_error_without_context(self):
+        assert str(VertexError(3, 2)) == "vertex 3 out of range [0, 2)"
+
+    def test_not_reachable(self):
+        exc = NotReachableError(0, 9)
+        assert exc.source == 0 and exc.destination == 9
+        assert "vertex 9" in str(exc) and "source 0" in str(exc)
+
+    def test_ownership_violation_reports_vertex_and_both_tasks(self):
+        exc = OwnershipViolation(42, first_task=3, second_task=17)
+        assert exc.vertex == 42
+        assert exc.first_task == 3
+        assert exc.second_task == 17
+        msg = str(exc)
+        assert "vertex 42" in msg
+        assert "task 3" in msg and "task 17" in msg
+        assert "superstep" in msg  # names the violated invariant
+
+
+class TestRoundTrips:
+    RICH = [
+        VertexError(5, 3, context="ctx"),
+        NotReachableError(1, 2),
+        OwnershipViolation(7, 0, 1),
+    ]
+
+    @pytest.mark.parametrize("exc", RICH, ids=lambda e: type(e).__name__)
+    def test_repr_names_class_and_str_survives(self, exc):
+        assert type(exc).__name__ in repr(exc)
+        assert str(exc)  # non-empty, human-readable
+
+    @pytest.mark.parametrize("exc", RICH, ids=lambda e: type(e).__name__)
+    def test_pickle_round_trip_preserves_message(self, exc):
+        # engines may ship exceptions across process boundaries
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert str(clone) == str(exc)
+
+    @pytest.mark.parametrize("cls", [
+        GraphError, EdgeError, WeightError, EngineError, AlgorithmError,
+        TreeInvariantError, BatchError, IOFormatError, BenchmarkError,
+    ])
+    def test_plain_classes_round_trip_message(self, cls):
+        exc = cls("something specific went wrong")
+        assert str(exc) == "something specific went wrong"
+        clone = pickle.loads(pickle.dumps(exc))
+        assert str(clone) == str(exc)

@@ -192,7 +192,11 @@ def test_mosp_kernels_equal_reference(data, engine_idx, step3):
         certify_combined_parents(fast)
         certify_combined_parents(ref)
         # both paths agree on which vertices have a MOSP at all, and
-        # each reported vector is the real cost of the reported path
+        # each reported vector is the real cost of the reported path:
+        # on a simple hop the pricing is forced (exact check); where
+        # parallel (a, b) edges exist the pipeline prices the hop with
+        # the tree-certified parallel edge, so the vector must be
+        # achievable by *some* per-hop choice among the real edges
         fin_fast = np.isfinite(fast.dist_vectors).all(axis=1)
         fin_ref = np.isfinite(ref.dist_vectors).all(axis=1)
         np.testing.assert_array_equal(fin_fast, fin_ref)
@@ -201,10 +205,16 @@ def test_mosp_kernels_equal_reference(data, engine_idx, step3):
             if v == fast.source:
                 continue
             path = fast.path_to(v)
-            cost = np.zeros(2)
+            achievable = {(0.0,) * 2}
             for a, b in zip(path, path[1:]):
-                cost += min(
-                    (tuple(g.weight(eid)) for vv, eid in g.out_edges(a)
-                     if vv == b),
-                )
-            np.testing.assert_allclose(fast.dist_vectors[v], cost)
+                hops = {
+                    tuple(g.weight(eid)) for vv, eid in g.out_edges(a)
+                    if vv == b
+                }
+                assert hops, (a, b)
+                achievable = {
+                    tuple(np.asarray(acc) + np.asarray(h))
+                    for acc in achievable for h in hops
+                }
+            vec = fast.dist_vectors[v]
+            assert any(np.allclose(vec, c) for c in achievable), (v, vec)

@@ -43,7 +43,9 @@ class TestEngineSemantics:
         hits = [0] * 50
 
         def bump(i):
-            hits[i] += 1
+            # intentional shared write: this test *is* the check that
+            # engines apply side effects exactly once per item
+            hits[i] += 1  # repro: noqa(R001)
             return i
 
         engine.parallel_for(list(range(50)), bump)
@@ -66,17 +68,20 @@ class TestEngineSemantics:
 
 
 class TestResolveEngine:
+    # checked=False pins the raw engine so these identity tests hold
+    # even when REPRO_CHECKED_ENGINES is exported (the checked-tier1 CI
+    # job); wrapping behaviour is covered by test_checked_engine.py.
     def test_none_is_serial(self):
-        assert resolve_engine(None).name == "serial"
+        assert resolve_engine(None, checked=False).name == "serial"
 
     def test_by_name(self):
-        e = resolve_engine("simulated", threads=8)
+        e = resolve_engine("simulated", threads=8, checked=False)
         assert e.name == "simulated"
         assert e.threads == 8
 
     def test_instance_passthrough(self):
         e = SimulatedEngine(threads=2)
-        assert resolve_engine(e) is e
+        assert resolve_engine(e, checked=False) is e
 
     def test_unknown_name_rejected(self):
         with pytest.raises(EngineError):
@@ -98,7 +103,8 @@ class TestThreadEngine:
         names = set()
 
         def record(i):
-            names.add(threading.current_thread().name)
+            # intentional shared write: observing which pool threads ran
+            names.add(threading.current_thread().name)  # repro: noqa(R001)
             return i
 
         with ThreadEngine(threads=4, chunk_size=1) as e:
