@@ -143,8 +143,8 @@ class RuleR001(Rule):
         name = fn_arg.id
         for scope in [call, *ctx.ancestors(call)]:
             body = getattr(scope, "body", None)
-            if body is None:
-                continue
+            if not isinstance(body, list):
+                continue  # e.g. a Lambda ancestor: body is an expression
             for stmt in body:
                 if (
                     isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -505,23 +505,42 @@ class RuleR004(Rule):
 
 
 # ----------------------------------------------------------------- R005
+#: ``time``-module clock functions R005 polices.  ``time.sleep`` and the
+#: struct/formatting helpers are fine anywhere; every function that
+#: *reads a clock* must go through :mod:`repro.obs.clock` (tracer spans,
+#: ``Span.elapsed``) or an engine's virtual clock instead.
+_R005_CLOCKS: Set[str] = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+
 class RuleR005(Rule):
-    """Wall-clock ``time.time`` stays inside the bench harness."""
+    """Clock reads stay inside ``repro/obs`` and ``repro/bench``."""
 
     code = "R005"
-    summary = "wall-clock time.time outside the bench harness"
+    summary = "clock read outside repro/obs and the bench harness"
     hint = (
-        "use time.perf_counter for step profiling or the simulated "
-        "engine's virtual clock; time.time is reserved for "
-        "repro/bench timestamps"
+        "time algorithm phases with repro.obs tracer spans "
+        "(Span.elapsed) or the simulated engine's virtual clock; "
+        "direct time.* clock reads live only in repro/obs (the "
+        "sanctioned clock module) and repro/bench"
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        return _in_repro(ctx) and not ctx.repro_rel.startswith("bench/")
+        return _in_repro(ctx) and not ctx.repro_rel.startswith(
+            ("bench/", "obs/")
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         time_aliases: Set[str] = set()
-        bare_time = False
+        clock_aliases: Set[str] = set()
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -529,13 +548,13 @@ class RuleR005(Rule):
                         time_aliases.add(alias.asname or "time")
             elif isinstance(node, ast.ImportFrom) and node.module == "time":
                 for alias in node.names:
-                    if alias.name == "time":
-                        bare_time = True
+                    if alias.name in _R005_CLOCKS:
+                        clock_aliases.add(alias.asname or alias.name)
                         yield self.finding(
                             ctx,
                             node,
-                            "'from time import time' imports the "
-                            "wall clock",
+                            f"'from time import {alias.name}' imports "
+                            "a clock",
                         )
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -543,17 +562,20 @@ class RuleR005(Rule):
             func = node.func
             if (
                 isinstance(func, ast.Attribute)
-                and func.attr == "time"
+                and func.attr in _R005_CLOCKS
                 and isinstance(func.value, ast.Name)
                 and func.value.id in time_aliases
             ):
-                yield self.finding(ctx, node, "call to time.time()")
+                yield self.finding(
+                    ctx, node, f"call to time.{func.attr}()"
+                )
             elif (
-                bare_time
-                and isinstance(func, ast.Name)
-                and func.id == "time"
+                isinstance(func, ast.Name)
+                and func.id in clock_aliases
             ):
-                yield self.finding(ctx, node, "call to time() wall clock")
+                yield self.finding(
+                    ctx, node, f"call to {func.id}() clock"
+                )
 
 
 ALL_RULES: Tuple[Rule, ...] = (

@@ -10,15 +10,15 @@ thread sweeps of Figures 4–5 come from a single execution each.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.bench.datasets import DATASETS, load_dataset
 from repro.core.mosp_update import mosp_update
 from repro.core.tree import SOSPTree
 from repro.dynamic.batch_gen import random_insert_batch
 from repro.errors import BenchmarkError
+from repro.obs.tracer import Tracer, use_tracer
 from repro.parallel.backends.simulated import (
     CostModel,
     SimulatedEngine,
@@ -48,7 +48,15 @@ class MOSPTrace:
     num_vertices, num_edges:
         Stand-in sizes after the batch.
     wall_seconds:
-        Real time the recording took (informational).
+        Real time the recording took (informational) — the elapsed
+        time of the root tracer span.
+    step_wall_seconds:
+        Wall seconds per pipeline step, read off the algorithm-phase
+        spans (``MOSPResult.step_seconds``).
+    spans:
+        The full recorded span stream
+        (:meth:`~repro.obs.tracer.Span.to_dict` rows) — exportable
+        with any :mod:`repro.obs.export` sink.
     """
 
     dataset: str
@@ -59,6 +67,8 @@ class MOSPTrace:
     num_vertices: int
     num_edges: int
     wall_seconds: float
+    step_wall_seconds: Dict[str, float] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     def time_at(self, threads: int, cost_model: Optional[CostModel] = None) -> float:
         """Virtual seconds for the whole update at ``threads``."""
@@ -125,11 +135,18 @@ def record_mosp_trace(
     batch.apply_to(g)
 
     eng = SimulatedEngine(threads=1, record_trace=True)
-    t0 = time.perf_counter()
-    # segment the trace by pipeline step: snapshot the trace length
-    # around each step using the step timers' keys order
-    result = mosp_update(g, trees, batch, engine=eng, weighting=weighting)
-    wall = time.perf_counter() - t0
+    # the whole pipeline runs under a recording tracer: wall times come
+    # from the span stream (root span = whole update, algorithm-phase
+    # spans = the Figure 6 steps), not hand-rolled clock reads
+    tracer = Tracer(recording=True)
+    with use_tracer(tracer):
+        with tracer.span(
+            "bench.record_mosp_trace", dataset=dataset,
+            batch_size=batch_size,
+        ) as root:
+            result = mosp_update(
+                g, trees, batch, engine=eng, weighting=weighting
+            )
 
     # rebuild per-step trace slices from the engine's virtual timeline:
     # mosp_update charged steps strictly in order, so cutting the trace
@@ -144,7 +161,9 @@ def record_mosp_trace(
         step_traces=step_traces,
         num_vertices=g.num_vertices,
         num_edges=g.num_edges,
-        wall_seconds=wall,
+        wall_seconds=root.elapsed,
+        step_wall_seconds=dict(result.step_seconds),
+        spans=[s.to_dict() for s in tracer.drain()],
     )
 
 

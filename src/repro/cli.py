@@ -34,6 +34,18 @@ from repro.dynamic import random_insert_batch
 from repro.errors import ReproError
 from repro.graph import DiGraph, erdos_renyi, random_geometric, road_like
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.obs import (
+    CLOCK_SOURCE,
+    EXPORTERS,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    get_metrics,
+    get_tracer,
+    use_metrics,
+    use_tracer,
+)
 from repro.parallel import resolve_engine
 from repro.sssp import recompute_sssp
 
@@ -72,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("dijkstra", "bellman_ford", "delta_stepping"))
     s.add_argument("--target", type=int, default=None,
                    help="print the path to this vertex")
+    _add_obs_flags(s)
 
     m = sub.add_parser("mosp", help="one multi-objective shortest path")
     m.add_argument("graph", help="edge-list file")
@@ -83,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--engine", default="serial",
                    choices=("serial", "threads", "simulated"))
     m.add_argument("--threads", type=int, default=4)
+    _add_obs_flags(m)
 
     u = sub.add_parser("update-demo",
                        help="incremental updates over random batches")
@@ -92,7 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--steps", type=int, default=3)
     u.add_argument("--batch-size", type=int, default=50)
     u.add_argument("--seed", type=int, default=0)
+    u.add_argument("--engine", default="serial",
+                   choices=("serial", "threads", "processes", "simulated"))
+    u.add_argument("--threads", type=int, default=4)
+    _add_obs_flags(u)
     return p
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record superstep spans; write a Chrome trace-event JSON "
+        "file (or JSONL span log when PATH ends in .jsonl)",
+    )
+    sub.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect algorithm metrics; write Prometheus text format",
+    )
 
 
 def _load(path: str) -> DiGraph:
@@ -108,6 +138,9 @@ def _cmd_info(args, out) -> int:
     print("baselines: dijkstra, bellman_ford (3 variants), "
           "delta_stepping, martins, weighted_sum", file=out)
     print("engines: serial, threads, processes, simulated", file=out)
+    print(f"observability: tracer {get_tracer().describe()}, "
+          f"clock {CLOCK_SOURCE}, "
+          f"exporters {', '.join(EXPORTERS)}", file=out)
     return 0
 
 
@@ -167,14 +200,15 @@ def _cmd_update_demo(args, out) -> int:
     if g.num_objectives != 1:
         # demo drives Algorithm 1 directly; use the first objective
         pass
+    engine = resolve_engine(args.engine, threads=args.threads)
     tree = SOSPTree.build(g, args.source)
-    print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges",
-          file=out)
+    print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges "
+          f"(engine: {engine.name})", file=out)
     for step in range(1, args.steps + 1):
         batch = random_insert_batch(g, args.batch_size,
                                     seed=args.seed + step)
         batch.apply_to(g)
-        stats = sosp_update(g, tree, batch)
+        stats = sosp_update(g, tree, batch, engine=engine)
         print(
             f"step {step}: +{batch.num_insertions} edges, "
             f"{stats.affected_total} improvements over "
@@ -193,12 +227,36 @@ _COMMANDS = {
 }
 
 
+def _run_with_obs(args, out) -> int:
+    """Run the command under a recording tracer / enabled metrics
+    registry (``--trace`` / ``--metrics``), then export."""
+    tracer = Tracer(recording=True)
+    with use_tracer(tracer), use_metrics():
+        with tracer.span(f"cli.{args.command}"):
+            code = _COMMANDS[args.command](args, out)
+        registry = get_metrics()
+    if args.trace is not None:
+        spans = tracer.drain()
+        if str(args.trace).endswith(".jsonl"):
+            n = export_jsonl(spans, args.trace)
+            print(f"wrote {n} spans to {args.trace}", file=out)
+        else:
+            n = export_chrome_trace(spans, args.trace, metrics=registry)
+            print(f"wrote {n} trace events to {args.trace}", file=out)
+    if args.metrics is not None:
+        n = export_prometheus(registry, args.metrics)
+        print(f"wrote {n} metric samples to {args.metrics}", file=out)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "trace", None) or getattr(args, "metrics", None):
+            return _run_with_obs(args, out)
         return _COMMANDS[args.command](args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -36,6 +36,8 @@ from repro.core.tree import SOSPTree
 from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.parallel.api import Engine, resolve_engine
 from repro.parallel.atomics import resolve_tracker
 from repro.types import INF, NO_PARENT
@@ -104,6 +106,21 @@ def sosp_update_fulldynamic(
     if ins.num_insertions:
         stats.insert_stats = sosp_update(graph, tree, ins, engine=eng)
         stats.touched_vertices |= stats.insert_stats.affected_vertices
+
+    m = get_metrics()
+    if m.enabled:
+        m.counter(
+            "deletion_invalidated_total",
+            "vertices invalidated by deleted tree edges",
+        ).inc(stats.invalidated)
+        m.counter(
+            "deletion_repair_relaxations_total",
+            "edges examined during deletion repair",
+        ).inc(stats.repair_relaxations)
+        m.histogram(
+            "deletion_repair_iterations",
+            "repair frontier waves per fully dynamic update",
+        ).observe(stats.repair_iterations)
     return stats
 
 
@@ -117,35 +134,41 @@ def _process_deletions(
     dist = tree.dist
     parent = tree.parent
     objective = tree.objective
+    tracer = get_tracer()
 
-    # phase 1: find roots of disconnected subtrees.  A deletion (u, v)
-    # matters iff v's parent pointer crossed that edge and no surviving
-    # parallel (u, v) edge can still certify v's distance.
-    dirty_roots: List[int] = []
-    for u, v in zip(del_src.tolist(), del_dst.tolist()):
-        if parent[v] == u and np.isfinite(dist[v]):
-            w = graph.min_weight_between(u, v, objective)
-            if not np.isclose(dist[u] + w, dist[v]):
-                dirty_roots.append(v)
+    with tracer.span(
+        "sosp_update_fulldynamic.invalidate", deletions=int(len(del_src))
+    ) as sp_inv:
+        # phase 1: find roots of disconnected subtrees.  A deletion
+        # (u, v) matters iff v's parent pointer crossed that edge and no
+        # surviving parallel (u, v) edge can still certify v's distance.
+        dirty_roots: List[int] = []
+        for u, v in zip(del_src.tolist(), del_dst.tolist()):
+            if parent[v] == u and np.isfinite(dist[v]):
+                w = graph.min_weight_between(u, v, objective)
+                if not np.isclose(dist[u] + w, dist[v]):
+                    dirty_roots.append(v)
 
-    if not dirty_roots:
-        return 0, 0, 0, set()
+        if not dirty_roots:
+            sp_inv.set(invalidated=0)
+            return 0, 0, 0, set()
 
-    # collect entire subtrees below the dirty roots (BFS over tree
-    # children); every member's distance is now unreliable
-    children = tree.children_lists()
-    dirty: Set[int] = set()
-    queue = deque(dirty_roots)
-    while queue:
-        v = queue.popleft()
-        if v in dirty:
-            continue
-        dirty.add(v)
-        queue.extend(children[v])
-    for v in dirty:
-        dist[v] = INF
-        parent[v] = NO_PARENT
-    eng.charge(len(dirty))
+        # collect entire subtrees below the dirty roots (BFS over tree
+        # children); every member's distance is now unreliable
+        children = tree.children_lists()
+        dirty: Set[int] = set()
+        queue = deque(dirty_roots)
+        while queue:
+            v = queue.popleft()
+            if v in dirty:
+                continue
+            dirty.add(v)
+            queue.extend(children[v])
+        for v in dirty:
+            dist[v] = INF
+            parent[v] = NO_PARENT
+        eng.charge(len(dirty))
+        sp_inv.set(invalidated=len(dirty))
 
     # phase 2: repair.  Dirty vertices relax against *any* finite
     # predecessor; improvements then propagate to out-neighbours.  Each
@@ -157,56 +180,59 @@ def _process_deletions(
     touched: Set[int] = set(dirty)
     iterations = 0
     relaxations = 0
-    while frontier:
-        iterations += 1
-        if tracker is not None:
-            tracker.next_superstep()
+    with tracer.span("sosp_update_fulldynamic.repair") as sp_rep:
+        while frontier:
+            iterations += 1
+            if tracker is not None:
+                tracker.next_superstep()
 
-        def relax(task_item: Tuple[int, int]) -> Tuple[int, int]:
-            task_id, v = task_item
-            best = dist[v]
-            best_u = -1
-            scanned = 0
-            for u, eid in graph.in_edges(v):
-                scanned += 1
-                nd = dist[u] + weights_col[eid]
-                if nd < best:
-                    best = nd
-                    best_u = u
-            if best_u >= 0:
-                if tracker is not None:
-                    tracker.record_write(v, task_id)
-                dist[v] = best
-                parent[v] = best_u
-                return v, scanned
-            return -1, scanned
+            def relax(task_item: Tuple[int, int]) -> Tuple[int, int]:
+                task_id, v = task_item
+                best = dist[v]
+                best_u = -1
+                scanned = 0
+                for u, eid in graph.in_edges(v):
+                    scanned += 1
+                    nd = dist[u] + weights_col[eid]
+                    if nd < best:
+                        best = nd
+                        best_u = u
+                if best_u >= 0:
+                    if tracker is not None:
+                        tracker.record_write(v, task_id)
+                    dist[v] = best
+                    parent[v] = best_u
+                    return v, scanned
+                return -1, scanned
 
-        results = eng.parallel_for(
-            list(enumerate(frontier)),
-            relax,
-            work_fn=lambda item, r: max(1, r[1]),
-        )
-        relaxations += sum(r[1] for r in results)
-        improved = [v for v, _ in results if v >= 0]
-        touched.update(improved)
-        # next frontier: out-neighbours of improved vertices that could
-        # still get better, plus any remaining unreached dirty vertices
-        nxt: Set[int] = set()
-        for u in improved:
-            for v, eid in graph.out_edges(u):
-                if dist[u] + weights_col[eid] < dist[v]:
+            results = eng.parallel_for(
+                list(enumerate(frontier)),
+                relax,
+                work_fn=lambda item, r: max(1, r[1]),
+            )
+            relaxations += sum(r[1] for r in results)
+            improved = [v for v, _ in results if v >= 0]
+            touched.update(improved)
+            # next frontier: out-neighbours of improved vertices that
+            # could still get better, plus remaining unreached dirty
+            # vertices
+            nxt: Set[int] = set()
+            for u in improved:
+                for v, eid in graph.out_edges(u):
+                    if dist[u] + weights_col[eid] < dist[v]:
+                        nxt.add(v)
+            for v in dirty:
+                if not np.isfinite(dist[v]) and any(
+                    np.isfinite(dist[u]) for u, _ in graph.in_edges(v)
+                ):
+                    # still disconnected but now has a finite
+                    # predecessor: retry (guaranteed to improve)
                     nxt.add(v)
-        for v in dirty:
-            if not np.isfinite(dist[v]) and any(
-                np.isfinite(dist[u]) for u, _ in graph.in_edges(v)
-            ):
-                # still disconnected but now has a finite predecessor:
-                # retry (guaranteed to improve next round)
-                nxt.add(v)
-        if not improved:
-            # nothing on the frontier was improvable, and any vertex in
-            # nxt would have been improved had it been improvable — the
-            # repair has reached a fixpoint
-            break
-        frontier = sorted(nxt)
+            if not improved:
+                # nothing on the frontier was improvable, and any vertex
+                # in nxt would have been improved had it been improvable
+                # — the repair has reached a fixpoint
+                break
+            frontier = sorted(nxt)
+        sp_rep.set(iterations=iterations, relaxations=relaxations)
     return len(dirty), iterations, relaxations, touched

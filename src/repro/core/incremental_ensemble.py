@@ -29,15 +29,19 @@ weight increased (x shrank)    deletion + insertion records
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.deletion import sosp_update_fulldynamic
 from repro.core.ensemble import resolve_weighting, vertex_ensemble_edges
-from repro.core.mosp_update import MOSPResult, _reassign_real_weights
-from repro.core.sosp_update import sosp_update
+from repro.core.mosp_update import (
+    MOSPResult,
+    _make_timed,
+    _reassign_real_weights,
+    _record_tree_stats,
+    _update_tree_step1,
+)
 from repro.core.tree import SOSPTree
 from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError
@@ -214,45 +218,21 @@ class IncrementalMOSP:
             ensemble=None,  # type: ignore[arg-type]
         )
         eng = self.engine
-        vt = getattr(eng, "virtual_time", None)
-
-        def timed(key, fn):
-            nonlocal vt
-            t0 = time.perf_counter()
-            out = fn()
-            result.step_seconds[key] = time.perf_counter() - t0
-            if vt is not None:
-                now = eng.virtual_time
-                result.step_virtual_seconds[key] = now - vt
-                vt = now
-            return out
+        timed = _make_timed("incremental_mosp", result, eng)
 
         dirty: Optional[set] = None
-        if batch is not None and batch.num_deletions:
-            # fully dynamic path: deletions can invalidate tree regions
+        if batch is not None and batch.num_changes:
             dirty = set()
             for i in range(k):
-                fd = timed(
+                stats, touched = timed(
                     f"sosp_update_{i}",
-                    lambda i=i: sosp_update_fulldynamic(
-                        self.graph, self.trees[i], batch, engine=eng
+                    lambda i=i: _update_tree_step1(
+                        self.graph, self.trees[i], batch, eng
                     ),
                 )
-                if fd.insert_stats is not None:
-                    result.update_stats.append(fd.insert_stats)
-                dirty |= fd.touched_vertices
-        elif batch is not None and batch.num_insertions:
-            dirty = set()
-            for i in range(k):
-                stats = timed(
-                    f"sosp_update_{i}",
-                    lambda i=i: sosp_update(
-                        self.graph, self.trees[i], batch, engine=eng
-                    ),
-                )
-                result.update_stats.append(stats)
-                dirty |= stats.affected_vertices
-        elif batch is not None and batch.num_changes == 0:
+                _record_tree_stats(result, stats)
+                dirty |= touched
+        elif batch is not None:
             dirty = set()  # provably no churn
 
         ens_batch = timed(

@@ -22,9 +22,8 @@ path with per-objective cost ≥ the SOSP bound in general.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,6 +35,8 @@ from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError, NotReachableError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.parallel.api import Engine, resolve_engine
 from repro.sssp.bellman_ford import frontier_bellman_ford, parallel_bellman_ford
 from repro.types import DIST_DTYPE, INF, NO_PARENT, FloatArray, IntArray
@@ -193,46 +194,22 @@ def mosp_update(
         ensemble=None,  # type: ignore[arg-type]
     )
 
-    vt = getattr(eng, "virtual_time", None)
-
-    def timed(key: str, fn):
-        nonlocal vt
-        t0 = time.perf_counter()
-        out = fn()
-        result.step_seconds[key] = time.perf_counter() - t0
-        if vt is not None:
-            now = eng.virtual_time  # type: ignore[attr-defined]
-            result.step_virtual_seconds[key] = now - vt
-            vt = now
-        return out
+    timed = _make_timed("mosp_update", result, eng)
 
     # ------------------------------------------------------ step 1
-    if batch is not None and batch.num_deletions:
-        # mixed/deletion batches route through the fully dynamic update
-        from repro.core.deletion import sosp_update_fulldynamic
-
-        for i in range(k):
-            fd = timed(
-                f"sosp_update_{i}",
-                lambda i=i: sosp_update_fulldynamic(
-                    graph, trees[i], batch, engine=eng
-                ),
-            )
-            if fd.insert_stats is not None:
-                result.update_stats.append(fd.insert_stats)
-    elif batch is not None and batch.num_insertions:
+    if batch is not None and batch.num_changes:
         snapshot: Optional[CSRGraph] = None
-        if use_csr_kernels:
+        if use_csr_kernels and not batch.num_deletions:
             snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
         for i in range(k):
-            stats = timed(
+            stats, _touched = timed(
                 f"sosp_update_{i}",
-                lambda i=i: sosp_update(
-                    graph, trees[i], batch, engine=eng,
+                lambda i=i: _update_tree_step1(
+                    graph, trees[i], batch, eng,
                     use_csr_kernels=use_csr_kernels, csr=snapshot,
                 ),
             )
-            result.update_stats.append(stats)
+            _record_tree_stats(result, stats)
 
     # ------------------------------------------------------ step 2
     ensemble = timed(
@@ -267,6 +244,82 @@ def mosp_update(
     ))
     eng.charge(int(np.isfinite(dist_c).sum()))
     return result
+
+
+# ----------------------------------------------------------------------
+def _make_timed(prefix: str, result: MOSPResult, eng: Engine):
+    """Build the pipeline-step timer shared by :func:`mosp_update` and
+    :class:`~repro.core.incremental_ensemble.IncrementalMOSP`.
+
+    Each call ``timed(key, fn)`` runs ``fn`` inside a tracer span named
+    ``"<prefix>.<key>"`` and records the span's elapsed wall time in
+    ``result.step_seconds[key]``; engines with a virtual clock
+    additionally populate ``result.step_virtual_seconds``.
+    """
+    tracer = get_tracer()
+    vt = getattr(eng, "virtual_time", None)
+
+    def timed(key, fn):
+        nonlocal vt
+        with tracer.span(f"{prefix}.{key}") as sp:
+            out = fn()
+        result.step_seconds[key] = sp.elapsed
+        if vt is not None:
+            now = eng.virtual_time  # type: ignore[attr-defined]
+            result.step_virtual_seconds[key] = now - vt
+            vt = now
+        return out
+
+    return timed
+
+
+def _update_tree_step1(
+    graph: DiGraph,
+    tree: SOSPTree,
+    batch: ChangeBatch,
+    eng: Engine,
+    use_csr_kernels: bool = False,
+    csr: Optional[CSRGraph] = None,
+) -> Tuple[Optional[UpdateStats], Set[int]]:
+    """Algorithm-2 Step 1 for one per-objective tree.
+
+    Dispatches to the fully dynamic variant when the batch carries
+    deletions, otherwise to plain Algorithm 1 (optionally through the
+    CSR kernels).  Returns ``(stats, touched)`` where ``stats`` is the
+    insertion-phase :class:`UpdateStats` (``None`` when the fully
+    dynamic path had nothing to reinsert) and ``touched`` is the set of
+    vertices whose tree entry may have changed.
+    """
+    if batch.num_deletions:
+        from repro.core.deletion import sosp_update_fulldynamic
+
+        fd = sosp_update_fulldynamic(graph, tree, batch, engine=eng)
+        return fd.insert_stats, set(fd.touched_vertices)
+    stats = sosp_update(
+        graph, tree, batch, engine=eng,
+        use_csr_kernels=use_csr_kernels, csr=csr,
+    )
+    return stats, set(stats.affected_vertices)
+
+
+def _record_tree_stats(
+    result: MOSPResult, stats: Optional[UpdateStats]
+) -> None:
+    """The single place per-tree Step-1 stats enter a result.
+
+    Both Algorithm-2 drivers (batch and incremental) must call this
+    exactly once per tree per update — the ``mosp_tree_updates_total``
+    counter certifies that, and ``update_stats`` gains at most one
+    entry (none when the fully dynamic path produced no insert phase).
+    """
+    m = get_metrics()
+    if m.enabled:
+        m.counter(
+            "mosp_tree_updates_total",
+            "per-objective tree updates (Algorithm-2 Step 1)",
+        ).inc()
+    if stats is not None:
+        result.update_stats.append(stats)
 
 
 # ----------------------------------------------------------------------

@@ -25,7 +25,6 @@ O(|ΔE| + affected subgraph), not O(|E|).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,6 +38,8 @@ from repro.dynamic.changes import ChangeBatch
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.parallel.api import Engine, resolve_engine
 from repro.parallel.atomics import OwnershipTracker, resolve_tracker
 
@@ -177,6 +178,9 @@ def sosp_update(
     # endpoints have no surviving edge are dropped.
     batch = _normalize_against_graph(graph, batch, objective)
 
+    tracer = get_tracer()
+    batch_size = int(batch.num_insertions)
+
     if use_csr_kernels:
         snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
         if snapshot.n != n:
@@ -190,83 +194,122 @@ def sosp_update(
                 f"snapshot.append_batch(batch) to keep them in sync"
             )
         src, dst, w_all = batch.insert_records()
-        t0 = time.perf_counter()
-        affected_arr, scanned = kernels.relax_batch_groups(
-            src, dst, w_all[:, objective], dist, parent, marked,
-            engine=eng, tracker=tracker,
-        )
-        stats.step_seconds["step1"] = time.perf_counter() - t0
+        with tracer.span(
+            "sosp_update.step1", kernel="csr", batch_size=batch_size
+        ) as sp1:
+            affected_arr, scanned = kernels.relax_batch_groups(
+                src, dst, w_all[:, objective], dist, parent, marked,
+                engine=eng, tracker=tracker,
+            )
+        stats.step_seconds["step1"] = sp1.elapsed
         stats.step1_passes = 1
         stats.relaxations += scanned
         stats.affected_initial = int(affected_arr.size)
         stats.affected_total = int(affected_arr.size)
         stats.affected_vertices.update(affected_arr.tolist())
-        t0 = time.perf_counter()
-        kernels.propagate_csr(
-            snapshot, dist, parent, marked, affected_arr,
-            objective=objective, engine=eng, stats=stats, tracker=tracker,
-        )
-        stats.step_seconds["step2"] = time.perf_counter() - t0
+        with tracer.span("sosp_update.step2", kernel="csr") as sp2:
+            kernels.propagate_csr(
+                snapshot, dist, parent, marked, affected_arr,
+                objective=objective, engine=eng, stats=stats,
+                tracker=tracker,
+            )
+        stats.step_seconds["step2"] = sp2.elapsed
+        _publish_stats(stats, batch_size)
         return stats
 
     # ------------------------------------------------------ step 0 + 1
-    t0 = time.perf_counter()
-    if use_grouping:
-        affected = _step1_grouped(
-            batch, objective, dist, parent, marked, eng, stats, tracker
-        )
-    else:
-        affected = _step1_ungrouped(
-            batch, objective, dist, parent, marked, eng, stats
-        )
-    stats.step_seconds["step1"] = time.perf_counter() - t0
+    with tracer.span(
+        "sosp_update.step1",
+        kernel="python",
+        grouped=use_grouping,
+        batch_size=batch_size,
+    ) as sp1:
+        if use_grouping:
+            affected = _step1_grouped(
+                batch, objective, dist, parent, marked, eng, stats, tracker
+            )
+        else:
+            affected = _step1_ungrouped(
+                batch, objective, dist, parent, marked, eng, stats
+            )
+    stats.step_seconds["step1"] = sp1.elapsed
     stats.affected_initial = len(affected)
     stats.affected_total = len(affected)
     stats.affected_vertices.update(affected)
 
     # ---------------------------------------------------------- step 2
-    t0 = time.perf_counter()
     weights_col = graph.weight_column(objective)
-    while affected:
-        if tracker is not None:
-            tracker.next_superstep()
-        frontier = gather_unique_neighbors(graph, affected)
-        stats.frontier_sizes.append(len(frontier))
-        stats.iterations += 1
+    with tracer.span("sosp_update.step2", kernel="python") as sp2:
+        while affected:
+            if tracker is not None:
+                tracker.next_superstep()
+            frontier = gather_unique_neighbors(graph, affected)
+            stats.frontier_sizes.append(len(frontier))
+            stats.iterations += 1
 
-        def relax(task_item):
-            task_id, v = task_item
-            best = dist[v]
-            best_u = -1
-            scanned = 0
-            for u, eid in graph.in_edges(v):
-                scanned += 1
-                if marked[u] != 1:
-                    continue
-                nd = dist[u] + weights_col[eid]
-                if nd < best:
-                    best = nd
-                    best_u = u
-            if best_u >= 0:
-                if tracker is not None:
-                    tracker.record_write(v, task_id)
-                dist[v] = best
-                parent[v] = best_u
-                marked[v] = 1
-                return v, scanned
-            return -1, scanned
+            def relax(task_item):
+                task_id, v = task_item
+                best = dist[v]
+                best_u = -1
+                scanned = 0
+                for u, eid in graph.in_edges(v):
+                    scanned += 1
+                    if marked[u] != 1:
+                        continue
+                    nd = dist[u] + weights_col[eid]
+                    if nd < best:
+                        best = nd
+                        best_u = u
+                if best_u >= 0:
+                    if tracker is not None:
+                        tracker.record_write(v, task_id)
+                    dist[v] = best
+                    parent[v] = best_u
+                    marked[v] = 1
+                    return v, scanned
+                return -1, scanned
 
-        results = eng.parallel_for(
-            list(enumerate(frontier)),
-            relax,
-            work_fn=lambda item, r: max(1, r[1]),
-        )
-        stats.relaxations += sum(r[1] for r in results)
-        affected = [v for v, _ in results if v >= 0]
-        stats.affected_total += len(affected)
-        stats.affected_vertices.update(affected)
-    stats.step_seconds["step2"] = time.perf_counter() - t0
+            results = eng.parallel_for(
+                list(enumerate(frontier)),
+                relax,
+                work_fn=lambda item, r: max(1, r[1]),
+            )
+            stats.relaxations += sum(r[1] for r in results)
+            affected = [v for v, _ in results if v >= 0]
+            stats.affected_total += len(affected)
+            stats.affected_vertices.update(affected)
+    stats.step_seconds["step2"] = sp2.elapsed
+    _publish_stats(stats, batch_size)
     return stats
+
+
+def _publish_stats(stats: UpdateStats, batch_size: int) -> None:
+    """Publish one finished Algorithm-1 run to the metrics registry.
+
+    Exactly one call per :func:`sosp_update` invocation, fed from the
+    already-accumulated :class:`UpdateStats` — the inner loops never
+    touch the registry, so the disabled-registry path costs a single
+    attribute check here.
+    """
+    m = get_metrics()
+    if not m.enabled:
+        return
+    m.counter("sosp_updates_total", "Algorithm-1 invocations").inc()
+    m.counter("sosp_relaxations_total", "edges examined").inc(
+        stats.relaxations
+    )
+    m.counter("sosp_step1_passes_total",
+              "Step-1 passes over inserted edges").inc(stats.step1_passes)
+    m.counter("sosp_improvements_total",
+              "distance improvements applied").inc(stats.affected_total)
+    m.histogram("sosp_batch_size", "insertions per batch").observe(
+        batch_size
+    )
+    m.histogram("sosp_step2_iterations",
+                "Step-2 frontier waves per update").observe(stats.iterations)
+    h = m.histogram("sosp_frontier_size", "|N| per Step-2 iteration")
+    for size in stats.frontier_sizes:
+        h.observe(size)
 
 
 # ----------------------------------------------------------------------

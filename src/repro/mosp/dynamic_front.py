@@ -41,6 +41,8 @@ from repro.errors import AlgorithmError
 from repro.graph.digraph import DiGraph
 from repro.mosp.labels import Label, LabelSet
 from repro.mosp.martins import martins
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.parallel.api import Engine, resolve_engine
 from repro.parallel.atomics import resolve_tracker
 from repro.types import DIST_DTYPE, FloatArray
@@ -58,6 +60,28 @@ class FrontUpdateStats:
     dominance_checks: int = 0
     invalidated: int = 0
     dirty_vertices: int = 0
+
+
+def _publish_front_stats(stats: FrontUpdateStats) -> None:
+    """Publish one finished front update to the metrics registry
+    (exactly once per :meth:`DynamicParetoFront.update` call)."""
+    m = get_metrics()
+    if not m.enabled:
+        return
+    m.counter("front_updates_total", "DynamicParetoFront updates").inc()
+    m.counter("front_candidates_total", "candidate labels queued").inc(
+        stats.candidates
+    )
+    m.counter("front_accepted_total", "labels accepted into fronts").inc(
+        stats.accepted
+    )
+    m.counter("front_dominance_checks_total", "dominance comparisons").inc(
+        stats.dominance_checks
+    )
+    m.counter("front_invalidated_total",
+              "labels invalidated by deletions").inc(stats.invalidated)
+    m.histogram("front_dirty_vertices",
+                "vertices reseeded per update").observe(stats.dirty_vertices)
 
 
 def _link(child: Label) -> Label:
@@ -176,17 +200,56 @@ class DynamicParetoFront:
         stats = FrontUpdateStats()
         g = self.graph
         k = g.num_objectives
+        tracer = get_tracer()
 
-        candidates: List[Label] = []
+        with tracer.span(
+            "dynamic_front.update", mode=mode,
+            insertions=int(batch.num_insertions),
+            deletions=int(batch.num_deletions),
+        ):
+            candidates: List[Label] = []
 
-        # ---- deletions: invalidate via provenance, reseed dirty sets
-        del_src, del_dst = batch.delete_records()
-        if len(del_src):
-            dirty = self._process_deletions(del_src, del_dst, stats)
-            stats.dirty_vertices = len(dirty)
-            for v in sorted(dirty):
-                for u, eid in g.in_edges(v):
-                    wv = g.weight(eid)
+            # ---- deletions: invalidate via provenance, reseed dirty
+            del_src, del_dst = batch.delete_records()
+            if len(del_src):
+                with tracer.span("dynamic_front.deletions") as sp_del:
+                    dirty = self._process_deletions(
+                        del_src, del_dst, stats
+                    )
+                    stats.dirty_vertices = len(dirty)
+                    for v in sorted(dirty):
+                        for u, eid in g.in_edges(v):
+                            wv = g.weight(eid)
+                            for lab in self._sets[u].labels:
+                                nd = tuple(
+                                    (np.asarray(lab.dist, dtype=DIST_DTYPE)
+                                     + wv).tolist()
+                                )
+                                candidates.append(
+                                    Label(v, nd, parent=u, parent_label=lab)
+                                )
+                    sp_del.set(
+                        invalidated=stats.invalidated,
+                        dirty_vertices=stats.dirty_vertices,
+                    )
+
+            # ---- insertions: every inserted edge extends its tail's
+            # labels.  Seeds come from the *live* (u, v) weight vectors,
+            # not the record's: a mixed batch may have deleted the
+            # inserted edge again (records apply in order), and
+            # conversely several incomparable parallel edges may all
+            # matter for the front.
+            src, dst, _w = batch.insert_records()
+            seen_pairs = set()
+            for i in range(len(src)):
+                u, v = int(src[i]), int(dst[i])
+                if u == v or (u, v) in seen_pairs:
+                    continue
+                seen_pairs.add((u, v))
+                live = [
+                    g.weight(eid) for vv, eid in g.out_edges(u) if vv == v
+                ]
+                for wv in live:
                     for lab in self._sets[u].labels:
                         nd = tuple(
                             (np.asarray(lab.dist, dtype=DIST_DTYPE)
@@ -196,33 +259,13 @@ class DynamicParetoFront:
                             Label(v, nd, parent=u, parent_label=lab)
                         )
 
-        # ---- insertions: every inserted edge extends its tail's labels.
-        # Seeds come from the *live* (u, v) weight vectors, not the
-        # record's: a mixed batch may have deleted the inserted edge
-        # again (records apply in order), and conversely several
-        # incomparable parallel edges may all matter for the front.
-        src, dst, _w = batch.insert_records()
-        seen_pairs = set()
-        for i in range(len(src)):
-            u, v = int(src[i]), int(dst[i])
-            if u == v or (u, v) in seen_pairs:
-                continue
-            seen_pairs.add((u, v))
-            live = [g.weight(eid) for vv, eid in g.out_edges(u) if vv == v]
-            for wv in live:
-                for lab in self._sets[u].labels:
-                    nd = tuple(
-                        (np.asarray(lab.dist, dtype=DIST_DTYPE)
-                         + wv).tolist()
-                    )
-                    candidates.append(
-                        Label(v, nd, parent=u, parent_label=lab)
-                    )
-
-        if mode == "setting":
-            self._update_setting(candidates, stats)
-        else:
-            self._update_correcting(candidates, stats)
+            if mode == "setting":
+                with tracer.span("dynamic_front.setting"):
+                    self._update_setting(candidates, stats)
+            else:
+                with tracer.span("dynamic_front.correcting"):
+                    self._update_correcting(candidates, stats)
+        _publish_front_stats(stats)
         return stats
 
     # ------------------------------------------------------------------

@@ -1,0 +1,157 @@
+"""Engine wrapper emitting one span per superstep, on any backend.
+
+``TracedEngine`` wraps an :class:`~repro.parallel.api.Engine`
+(including a :class:`~repro.parallel.checked.CheckedEngine` — the
+sanitizer and the tracer compose) and annotates every
+``parallel_for``/``map_reduce`` call — one superstep — with:
+
+- ``phase``: the name of the enclosing algorithm span (e.g.
+  ``sosp_update.step2``), read from the tracer's context;
+- ``backend`` / ``threads``: the wrapped engine and its width;
+- ``items``: superstep size;
+- ``work_total`` / ``work_p50`` / ``work_p95`` / ``work_max``: the
+  per-task work-unit distribution from the kernel's existing
+  ``work_fn`` accounting — the straggler/imbalance signal of the
+  paper's dynamic-scheduling discussion.
+
+Task functions are wrapped in a picklable :class:`_TaskRunner` that
+re-attaches the superstep span inside the worker, so spans opened by
+task bodies reparent correctly even on pool threads that never saw the
+caller's context (worker *processes* see their own default tracer, so
+the attach is a harmless no-op there).
+
+:func:`repro.parallel.api.resolve_engine` applies this wrapper
+automatically whenever the active tracer is recording; algorithm code
+never constructs it by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Span, current_span, get_tracer
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["TracedEngine"]
+
+
+class _TaskRunner:
+    """Picklable task shim: run ``fn`` with the superstep span attached."""
+
+    __slots__ = ("fn", "span")
+
+    def __init__(self, fn: Callable[[T], R], span: Span) -> None:
+        self.fn = fn
+        self.span = span
+
+    def __call__(self, item: T) -> R:
+        with get_tracer().attach(self.span):
+            return self.fn(item)
+
+
+class TracedEngine:
+    """Wrap any engine so each superstep emits an annotated span."""
+
+    def __init__(self, inner: Any) -> None:
+        if isinstance(inner, TracedEngine):
+            inner = inner.inner  # never stack tracers
+        self.inner = inner
+
+    @property
+    def name(self) -> str:
+        return f"traced({self.inner.name})"
+
+    @property
+    def threads(self) -> int:
+        return int(self.inner.threads)
+
+    def _superstep(
+        self,
+        op: str,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]],
+        run: Callable[[Callable[[T], R]], List[R]],
+    ) -> List[R]:
+        tracer = get_tracer()
+        enclosing = current_span()
+        with tracer.span(
+            "superstep",
+            op=op,
+            phase=enclosing.name if enclosing is not None else "",
+            backend=self.inner.name,
+            threads=self.threads,
+            items=len(items),
+        ) as sp:
+            results = run(_TaskRunner(fn, sp))
+            if work_fn is not None and results:
+                costs = sorted(
+                    float(work_fn(items[i], results[i]))
+                    for i in range(len(items))
+                )
+                n = len(costs)
+                sp.set(
+                    work_total=sum(costs),
+                    work_p50=costs[min(n - 1, round(0.50 * (n - 1)))],
+                    work_p95=costs[min(n - 1, round(0.95 * (n - 1)))],
+                    work_max=costs[-1],
+                )
+            m = get_metrics()
+            if m.enabled:
+                m.counter(
+                    "engine_supersteps_total",
+                    "parallel_for/map_reduce barriers executed",
+                ).inc()
+                m.histogram(
+                    "engine_superstep_items",
+                    "tasks per superstep",
+                ).observe(len(items))
+        return results
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        return self._superstep(
+            "parallel_for", items, fn, work_fn,
+            lambda task: self.inner.parallel_for(items, task,
+                                                 work_fn=work_fn),
+        )
+
+    def map_reduce(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        reduce_fn: Callable[[Any, R], Any],
+        init: Any,
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> Any:
+        tracer = get_tracer()
+        enclosing = current_span()
+        with tracer.span(
+            "superstep",
+            op="map_reduce",
+            phase=enclosing.name if enclosing is not None else "",
+            backend=self.inner.name,
+            threads=self.threads,
+            items=len(items),
+        ) as sp:
+            return self.inner.map_reduce(
+                items, _TaskRunner(fn, sp), reduce_fn, init,
+                work_fn=work_fn,
+            )
+
+    def charge(self, units: float) -> None:
+        self.inner.charge(units)
+
+    def __getattr__(self, attr: str) -> Any:
+        # backend-specific surface (tracker, virtual_time, trace, ...)
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TracedEngine({self.inner!r})"

@@ -1,0 +1,185 @@
+"""Span and metric exporters: JSONL, Chrome trace events, Prometheus text.
+
+Three sinks for one span stream:
+
+- :func:`export_jsonl` — one JSON object per line, lossless
+  (:meth:`~repro.obs.tracer.Span.to_dict` rows; read back with
+  :func:`read_jsonl`).
+- :func:`export_chrome_trace` — the Trace Event Format's complete
+  (``"ph": "X"``) events, loadable in Perfetto / ``chrome://tracing``;
+  :func:`validate_chrome_trace` checks the schema without a browser.
+- :func:`export_prometheus` — the metrics registry in Prometheus text
+  exposition format (:func:`parse_prometheus` reads the samples back).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = [
+    "export_jsonl",
+    "read_jsonl",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "export_prometheus",
+    "parse_prometheus",
+    "EXPORTERS",
+]
+
+#: Registered exporter names (``repro info`` reports these).
+EXPORTERS = ("jsonl", "chrome-trace", "prometheus")
+
+_SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_dict(span: _SpanLike) -> Dict[str, Any]:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def export_jsonl(spans: Sequence[_SpanLike], path: Union[str, Path]) -> int:
+    """Write one JSON object per span; returns the row count."""
+    rows = [_as_dict(s) for s in spans]
+    with open(path, "w", encoding="utf-8") as f:
+        for row in rows:
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a span log written by :func:`export_jsonl`."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def export_chrome_trace(
+    spans: Sequence[_SpanLike],
+    path: Union[str, Path],
+    metrics: Union[MetricsRegistry, None] = None,
+) -> int:
+    """Write a Chrome trace-event JSON file; returns the event count.
+
+    Span start times are rebased so the earliest span starts at 0 µs;
+    thread idents are compacted to small ``tid`` integers.  Span
+    attributes (phase, items, work distribution, ...) land in each
+    event's ``args``.  A metrics snapshot, when given, is embedded as
+    ``otherData.metrics``.
+    """
+    rows = [_as_dict(s) for s in spans]
+    starts = [r["start"] for r in rows if r.get("end") is not None]
+    t0 = min(starts) if starts else 0.0
+    tids: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = []
+    for r in rows:
+        if r.get("end") is None:
+            continue  # never-closed spans have no duration
+        tid = tids.setdefault(int(r["thread"]), len(tids))
+        args = dict(r.get("attrs") or {})
+        args["span_id"] = r["span_id"]
+        if r.get("parent_id") is not None:
+            args["parent_id"] = r["parent_id"]
+        events.append(
+            {
+                "name": str(r["name"]),
+                "ph": "X",
+                "ts": (r["start"] - t0) * 1e6,
+                "dur": (r["end"] - r["start"]) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs"},
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = metrics.snapshot()
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, sort_keys=True)
+    return len(events)
+
+
+def validate_chrome_trace(source: Union[str, Path, Dict[str, Any]]) -> List[str]:
+    """Schema-check a Chrome trace document; returns problem strings
+    (empty list = valid).
+
+    Checks the subset of the Trace Event Format this package emits:
+    a ``traceEvents`` list of complete events with string ``name``,
+    ``ph == "X"``, non-negative numeric ``ts``/``dur``, integer
+    ``pid``/``tid``, and a dict ``args`` carrying an integer
+    ``span_id``.
+    """
+    problems: List[str] = []
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as exc:
+                return [f"not JSON: {exc}"]
+    else:
+        doc = source
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing string name")
+        if ev.get("ph") != "X":
+            problems.append(f"{where}: ph is {ev.get('ph')!r}, expected 'X'")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                problems.append(f"{where}: {key} is not a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} is not an integer")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args is not an object")
+        elif not isinstance(args.get("span_id"), int):
+            problems.append(f"{where}: args.span_id is not an integer")
+    return problems
+
+
+def export_prometheus(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> int:
+    """Write the registry in Prometheus text format; returns sample count."""
+    text = registry.to_prometheus()
+    Path(path).write_text(text, encoding="utf-8")
+    return len(parse_prometheus(text))
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse text-exposition samples back into ``{sample_name: value}``.
+
+    Labelled samples keep their label suffix verbatim (e.g.
+    ``'latency{quantile="0.5"}'``).  Comment and blank lines are
+    skipped.  Inverse of :meth:`MetricsRegistry.to_prometheus` for
+    round-trip tests.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out

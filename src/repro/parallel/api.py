@@ -187,8 +187,18 @@ def resolve_engine(
     the whole tier-1 suite under checked engines without touching call
     sites; ``checked=False`` forces wrapping off.  An engine that is
     already checked is never double-wrapped.
+
+    While the active tracer is recording (``repro.obs.use_tracer`` with
+    ``Tracer(recording=True)`` — the CLI's ``--trace`` and the bench
+    runner do this), the resolved engine is additionally wrapped in a
+    :class:`~repro.obs.engine.TracedEngine`, so every superstep of
+    every kernel emits an annotated span; with the default passive or
+    null tracer no wrapper is added and the resolved engine is exactly
+    what it was before observability existed.
     """
     # imports deferred to avoid a cycle with backends importing BaseEngine
+    from repro.obs.engine import TracedEngine
+    from repro.obs.tracer import get_tracer
     from repro.parallel.backends.processes import ProcessEngine
     from repro.parallel.backends.serial import SerialEngine
     from repro.parallel.backends.simulated import SimulatedEngine
@@ -203,8 +213,12 @@ def resolve_engine(
         )
 
     def _wrap(resolved: Engine) -> Engine:
+        if isinstance(resolved, TracedEngine):
+            return resolved  # already fully wrapped (tracer outermost)
         if checked and not isinstance(resolved, CheckedEngine):
-            return CheckedEngine(resolved)
+            resolved = CheckedEngine(resolved)
+        if get_tracer().recording:
+            resolved = TracedEngine(resolved)
         return resolved
 
     if engine is None:

@@ -53,6 +53,14 @@ class OwnershipTracker:
         if prev is None:
             self._writers[vertex] = task
         elif prev != task:
+            from repro.obs.metrics import get_metrics
+
+            m = get_metrics()
+            if m.enabled:
+                m.counter(
+                    "ownership_violations_total",
+                    "single-writer discipline violations detected",
+                ).inc()
             raise OwnershipViolation(vertex, prev, task)
 
     def next_superstep(self) -> None:

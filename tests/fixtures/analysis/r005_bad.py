@@ -1,6 +1,7 @@
-"""R005 fixture: wall-clock time.time outside the bench harness."""
+"""R005 fixture: direct clock reads outside repro/obs and repro/bench."""
 
 import time
+from time import perf_counter as _pc  # the import alone is flagged
 from time import time as _  # the import alone is flagged
 
 
@@ -9,6 +10,14 @@ def stamp():
 
 
 def profile(fn):
-    t0 = time.time()
+    t0 = time.perf_counter()
     fn()
-    return time.time() - t0
+    return time.perf_counter() - t0
+
+
+def tick():
+    return time.monotonic()
+
+
+def aliased():
+    return _pc()

@@ -1,12 +1,14 @@
-"""R005 fixture: monotonic/virtual clocks for profiling."""
+"""R005 fixture: sanctioned timing — spans and virtual clocks."""
 
 import time
 
+from repro.obs.tracer import get_tracer
+
 
 def profile(fn):
-    t0 = time.perf_counter()
-    fn()
-    return time.perf_counter() - t0
+    with get_tracer().span("fixture.profile") as sp:
+        fn()
+    return sp.elapsed
 
 
 def simulated(engine, items, task):
@@ -15,4 +17,4 @@ def simulated(engine, items, task):
 
 
 def backoff():
-    time.sleep(0.0)  # sleeping is not reading the wall clock
+    time.sleep(0.0)  # sleeping is not reading a clock

@@ -79,6 +79,45 @@ class TestScoping:
             src, path="src/repro/core/run.py", select={"R005"}
         )
 
+    def test_r005_exempts_obs(self):
+        # repro/obs is the sanctioned clock module: any clock read is
+        # fine there, and nowhere else inside repro/
+        src = (
+            "import time\n\n\ndef perf():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert (
+            lint_source(src, path="src/repro/obs/clock.py", select={"R005"})
+            == []
+        )
+        assert lint_source(
+            src, path="src/repro/core/run.py", select={"R005"}
+        )
+
+    def test_r005_flags_all_clock_reads(self):
+        # perf_counter/monotonic reads (and aliased from-imports) are
+        # clock reads, same as time.time
+        src = (
+            "import time\n"
+            "from time import monotonic as now\n\n\n"
+            "def f():\n"
+            "    return time.perf_counter() + now()\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/core/x.py", select={"R005"}
+        )
+        messages = [f.message for f in findings]
+        assert any("monotonic" in m and "import" in m for m in messages)
+        assert any("time.perf_counter()" in m for m in messages)
+        assert any("now() clock" in m for m in messages)
+
+    def test_r005_allows_sleep(self):
+        src = "import time\n\n\ndef f():\n    time.sleep(0.01)\n"
+        assert (
+            lint_source(src, path="src/repro/core/x.py", select={"R005"})
+            == []
+        )
+
     def test_r004_limited_to_typed_core(self):
         src = "def f(x):\n    return x\n"
         assert (

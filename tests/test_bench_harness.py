@@ -97,6 +97,24 @@ class TestTraceRecording:
             "bellman_ford", "reassign",
         }
 
+    def test_wall_times_come_from_span_stream(self, trace):
+        # the recorder times the pipeline through tracer spans: the
+        # root span is the wall clock, phase spans are the step clocks
+        assert trace.wall_seconds > 0
+        assert set(trace.step_wall_seconds) == set(trace.step_times_at(1))
+        assert sum(trace.step_wall_seconds.values()) <= trace.wall_seconds
+
+    def test_span_stream_recorded_and_exportable(self, trace, tmp_path):
+        from repro.obs import export_chrome_trace, validate_chrome_trace
+
+        names = {s["name"] for s in trace.spans}
+        assert "bench.record_mosp_trace" in names
+        assert "mosp_update.bellman_ford" in names
+        assert "superstep" in names
+        path = tmp_path / "bench_trace.json"
+        assert export_chrome_trace(trace.spans, path) == len(trace.spans)
+        assert validate_chrome_trace(path) == []
+
 
 class TestFigureBuilders:
     @pytest.fixture(scope="class")

@@ -34,6 +34,14 @@ class TestInfo:
         assert "3624062.3625134" in text
         assert "sosp_update" in text
 
+    def test_reports_observability_build(self):
+        code, text = run(["info"])
+        assert code == 0
+        assert "observability: tracer passive" in text
+        assert "clock time.perf_counter" in text
+        assert "jsonl" in text and "chrome-trace" in text
+        assert "prometheus" in text
+
 
 class TestGenerate:
     @pytest.mark.parametrize("family", ["road", "rgg", "er"])
@@ -132,6 +140,90 @@ class TestUpdateDemo:
         )
         assert code == 0
         assert "20 vertices" in text
+
+    def test_engine_selection(self):
+        code, text = run(
+            ["update-demo", "--steps", "1", "--batch-size", "5",
+             "--engine", "threads", "--threads", "2"]
+        )
+        assert code == 0
+        assert "engine: threads" in text
+
+
+class TestObservabilityFlags:
+    def test_update_demo_trace_is_valid_chrome_trace(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        code, text = run(
+            ["update-demo", "--steps", "2", "--batch-size", "10",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        assert f"trace events to {trace}" in text
+        assert validate_chrome_trace(trace) == []
+
+    def test_trace_spans_cover_steps_and_supersteps(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        run(["update-demo", "--steps", "1", "--batch-size", "10",
+             "--engine", "threads", "--threads", "2",
+             "--trace", str(trace)])
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"cli.update-demo", "sosp_update.step1",
+                "sosp_update.step2", "superstep"} <= names
+        by_id = {e["args"]["span_id"]: e for e in doc["traceEvents"]}
+        for e in doc["traceEvents"]:
+            if e["name"] != "superstep":
+                continue
+            parent = by_id[e["args"]["parent_id"]]
+            assert parent["name"].startswith("sosp_update.step")
+            assert "items" in e["args"]
+
+    def test_jsonl_trace_variant(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "spans.jsonl"
+        code, text = run(
+            ["update-demo", "--steps", "1", "--batch-size", "5",
+             "--trace", str(trace)]
+        )
+        assert code == 0 and f"spans to {trace}" in text
+        rows = read_jsonl(trace)
+        assert any(r["name"] == "sosp_update.step2" for r in rows)
+
+    def test_metrics_flag_writes_prometheus(self, tmp_path):
+        from repro.obs import parse_prometheus
+
+        prom = tmp_path / "m.prom"
+        code, text = run(
+            ["update-demo", "--steps", "2", "--batch-size", "10",
+             "--metrics", str(prom)]
+        )
+        assert code == 0 and f"samples to {prom}" in text
+        samples = parse_prometheus(prom.read_text())
+        assert samples["sosp_updates_total"] == 2.0
+        assert samples["engine_supersteps_total"] > 0
+
+    def test_mosp_trace(self, graph_file, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "mosp.json"
+        code, _ = run(
+            ["mosp", graph_file, "--target", "3", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert validate_chrome_trace(trace) == []
+
+    def test_sssp_trace(self, graph_file, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "sssp.json"
+        code, _ = run(["sssp", graph_file, "--trace", str(trace)])
+        assert code == 0
+        assert validate_chrome_trace(trace) == []
 
 
 class TestParser:

@@ -131,6 +131,61 @@ class TestWithBatch:
         assert sum(r.step_virtual_seconds.values()) <= eng.virtual_time + 1e-12
 
 
+class TestStatsEmission:
+    """Every Step-1 tree update emits stats exactly once — through
+    ``_record_tree_stats`` — on both Algorithm-2 drivers."""
+
+    def _counted(self, fn):
+        from repro.obs import use_metrics
+
+        with use_metrics() as reg:
+            r = fn()
+        snap = reg.snapshot()
+        return r, snap.get("mosp_tree_updates_total", 0.0)
+
+    def test_insert_batch_exactly_once_per_tree(self):
+        g = erdos_renyi(40, 160, k=2, seed=20)
+        trees = build_trees(g)
+        batch = random_insert_batch(g, 30, seed=21)
+        batch.apply_to(g)
+        r, count = self._counted(lambda: mosp_update(g, trees, batch))
+        assert count == 2.0
+        assert len(r.update_stats) == 2
+
+    def test_mixed_batch_exactly_once_per_tree(self):
+        g = erdos_renyi(40, 200, k=2, seed=22)
+        trees = build_trees(g)
+        edges = list(g.edges())
+        dels = [(u, v) for u, v, _ in edges[:5]]
+        batch = ChangeBatch.concat(
+            ChangeBatch.deletions(dels, k=2),
+            random_insert_batch(g, 20, seed=23),
+        )
+        batch.apply_to(g)
+        r, count = self._counted(lambda: mosp_update(g, trees, batch))
+        assert count == 2.0
+        # the fully dynamic path appends at most one stats per tree
+        assert len(r.update_stats) <= 2
+
+    def test_no_batch_emits_nothing(self):
+        g = erdos_renyi(20, 80, k=2, seed=24)
+        trees = build_trees(g)
+        r, count = self._counted(lambda: mosp_update(g, trees))
+        assert count == 0.0
+        assert r.update_stats == []
+
+    def test_incremental_driver_exactly_once_per_tree(self):
+        from repro.core.incremental_ensemble import IncrementalMOSP
+
+        g = erdos_renyi(40, 160, k=2, seed=25)
+        inc = IncrementalMOSP(g, source=0)
+        batch = random_insert_batch(g, 25, seed=26)
+        batch.apply_to(g)
+        r, count = self._counted(lambda: inc.update(batch))
+        assert count == 2.0
+        assert len(r.update_stats) == 2
+
+
 class TestTheorems:
     def test_theorem1_unique_trees_pareto_optimal(self):
         """Theorem 3 construction: unique SOSP trees => the heuristic's

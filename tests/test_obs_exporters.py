@@ -1,0 +1,130 @@
+"""Round-trip and schema tests for the three span/metric exporters."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    parse_prometheus,
+    read_jsonl,
+    use_tracer,
+    validate_chrome_trace,
+)
+
+
+def _record_spans():
+    t = Tracer(recording=True)
+    with use_tracer(t):
+        with t.span("phase", step="step2"):
+            with t.span("superstep", items=4, work_p95=2.0):
+                pass
+    return t.drain()
+
+
+class TestJSONL:
+    def test_round_trip(self, tmp_path):
+        spans = _record_spans()
+        path = tmp_path / "spans.jsonl"
+        n = export_jsonl(spans, path)
+        assert n == 2
+        rows = read_jsonl(path)
+        assert [r["name"] for r in rows] == ["superstep", "phase"]
+        assert rows == [s.to_dict() for s in spans]
+        # parent linkage survives the round trip
+        assert rows[0]["parent_id"] == rows[1]["span_id"]
+
+
+class TestChromeTrace:
+    def test_export_validates(self, tmp_path):
+        spans = _record_spans()
+        path = tmp_path / "trace.json"
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        n = export_chrome_trace(spans, path, metrics=reg)
+        assert n == 2
+        assert validate_chrome_trace(path) == []
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["metrics"]["c"] == 3.0
+        # timestamps rebased: earliest event starts at 0 µs
+        assert min(e["ts"] for e in doc["traceEvents"]) == 0.0
+
+    def test_attrs_and_ids_land_in_args(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(_record_spans(), path)
+        doc = json.loads(path.read_text())
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        assert by_name["superstep"]["args"]["items"] == 4
+        assert by_name["superstep"]["args"]["parent_id"] == (
+            by_name["phase"]["args"]["span_id"]
+        )
+
+    def test_open_spans_are_skipped(self, tmp_path):
+        rows = [s.to_dict() for s in _record_spans()]
+        rows.append({"name": "open", "span_id": 999, "parent_id": None,
+                     "start": 1.0, "end": None, "elapsed": 0.0,
+                     "thread": 1, "attrs": {}})
+        path = tmp_path / "trace.json"
+        assert export_chrome_trace(rows, path) == 2
+
+    def test_validator_catches_corruption(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(_record_spans(), path)
+        doc = json.loads(path.read_text())
+        doc["traceEvents"][0]["ph"] = "B"
+        del doc["traceEvents"][1]["args"]["span_id"]
+        doc["traceEvents"].append({"name": "", "ph": "X", "ts": -1,
+                                   "dur": "x", "pid": 0, "tid": "t",
+                                   "args": {}})
+        problems = validate_chrome_trace(doc)
+        assert any("ph is 'B'" in p for p in problems)
+        assert any("span_id" in p for p in problems)
+        assert any("ts is not a non-negative number" in p
+                   for p in problems)
+        assert any("tid is not an integer" in p for p in problems)
+
+    def test_validator_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        problems = validate_chrome_trace(path)
+        assert problems and problems[0].startswith("not JSON")
+
+    def test_validator_rejects_wrong_shapes(self):
+        assert validate_chrome_trace([]) == ["top level is not an object"]
+        assert validate_chrome_trace({}) == ["missing traceEvents list"]
+        assert validate_chrome_trace(
+            {"traceEvents": ["nope"]}
+        ) == ["traceEvents[0]: not an object"]
+
+
+class TestPrometheus:
+    def test_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("updates_total", "updates").inc(3)
+        reg.gauge("frontier", "current frontier").set(17)
+        h = reg.histogram("batch", "batch sizes")
+        for v in (10, 20, 30):
+            h.observe(v)
+        path = tmp_path / "metrics.prom"
+        n = export_prometheus(reg, path)
+        samples = parse_prometheus(path.read_text())
+        assert n == len(samples) == 6
+        assert samples["updates_total"] == 3.0
+        assert samples["frontier"] == 17.0
+        assert samples['batch{quantile="0.50"}'] == 20.0
+        assert samples["batch_sum"] == 60.0
+        assert samples["batch_count"] == 3.0
+
+    def test_empty_registry(self, tmp_path):
+        path = tmp_path / "m.prom"
+        assert export_prometheus(MetricsRegistry(), path) == 0
+        assert parse_prometheus(path.read_text()) == {}
+
+    def test_help_and_type_comments_present(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "my help").inc()
+        text = reg.to_prometheus()
+        assert "# HELP c_total my help" in text
+        assert "# TYPE c_total counter" in text

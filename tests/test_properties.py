@@ -173,14 +173,29 @@ class TestMOSPInvariants:
     def test_mosp_not_dominated_when_fronts_small(self, gb):
         """On integer-weight graphs ties are common, so unique-tree
         preconditions fail; the heuristic still must not be *strictly*
-        dominated in well-posed cases where the tree is unique."""
+        dominated in well-posed cases where the tree is unique.
+
+        Well-posed additionally requires a *simple* graph: among
+        parallel edges, different trees can certify different parallel
+        edges for the same ensemble hop, and no single representative
+        weight vector (``_representative_weight``) makes every pricing
+        nondominated — e.g. parallel ``u→v`` weights ``(a, B)`` and
+        ``(b, A)`` with ``a < b``, ``A < B``: whichever is chosen, the
+        other may complete the front row that dominates the result.
+        """
         g, batches = gb
         batches[0].apply_to(g)
-        # perturb weights to break ties (unique SOSP trees w.h.p.)
+        # perturb weights to break ties (unique SOSP trees w.h.p.) and
+        # drop parallel edges (keep the first per (u, v) pair) so the
+        # representative-weight pricing of each hop is unambiguous
         rng = np.random.default_rng(0)
         h = DiGraph(g.num_vertices, 2)
+        seen = set()
         for u, v, eid in g.edges():
             w = np.asarray(g.weight(eid)) + rng.uniform(0, 1e-3, 2)
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
             h.add_edge(u, v, w)
         trees = [SOSPTree.build(h, 0, objective=i) for i in range(2)]
         r = mosp_update(h, trees)
