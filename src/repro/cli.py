@@ -32,7 +32,13 @@ from repro._version import __version__
 from repro.core import SOSPTree, mosp_update, sosp_update
 from repro.dynamic import random_insert_batch
 from repro.errors import ReproError
-from repro.graph import DiGraph, erdos_renyi, random_geometric, road_like
+from repro.graph import (
+    CSRGraph,
+    DiGraph,
+    erdos_renyi,
+    random_geometric,
+    road_like,
+)
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.obs import (
     CLOCK_SOURCE,
@@ -107,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--batch-size", type=int, default=50)
     u.add_argument("--seed", type=int, default=0)
     u.add_argument("--engine", default="serial",
-                   choices=("serial", "threads", "processes", "simulated"))
+                   choices=("serial", "threads", "processes", "shm",
+                            "simulated"))
     u.add_argument("--threads", type=int, default=4)
     _add_obs_flags(u)
     return p
@@ -137,7 +144,7 @@ def _cmd_info(args, out) -> int:
           "sosp_update_fulldynamic, IncrementalMOSP", file=out)
     print("baselines: dijkstra, bellman_ford (3 variants), "
           "delta_stepping, martins, weighted_sum", file=out)
-    print("engines: serial, threads, processes, simulated", file=out)
+    print("engines: serial, threads, processes, shm, simulated", file=out)
     print(f"observability: tracer {get_tracer().describe()}, "
           f"clock {CLOCK_SOURCE}, "
           f"exporters {', '.join(EXPORTERS)}", file=out)
@@ -202,19 +209,32 @@ def _cmd_update_demo(args, out) -> int:
         pass
     engine = resolve_engine(args.engine, threads=args.threads)
     tree = SOSPTree.build(g, args.source)
+    # slab-dispatch engines (shm) only parallelise the vectorised CSR
+    # kernels — route through them with an incrementally maintained
+    # snapshot so --engine shm exercises the shared-memory path instead
+    # of silently falling back to per-edge Python
+    use_csr = bool(getattr(engine, "supports_slab_dispatch", False))
+    snapshot = CSRGraph.from_digraph(g) if use_csr else None
     print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges "
-          f"(engine: {engine.name})", file=out)
+          f"(engine: {engine.name}"
+          f"{', csr kernels' if use_csr else ''})", file=out)
     for step in range(1, args.steps + 1):
         batch = random_insert_batch(g, args.batch_size,
                                     seed=args.seed + step)
         batch.apply_to(g)
-        stats = sosp_update(g, tree, batch, engine=engine)
+        if snapshot is not None:
+            snapshot.append_batch(batch)
+        stats = sosp_update(g, tree, batch, engine=engine,
+                            use_csr_kernels=use_csr, csr=snapshot)
         print(
             f"step {step}: +{batch.num_insertions} edges, "
             f"{stats.affected_total} improvements over "
             f"{stats.iterations} iterations, "
             f"{stats.relaxations} relaxations", file=out,
         )
+    closer = getattr(engine, "close", None)
+    if callable(closer):
+        closer()  # release pool workers / shared segments promptly
     return 0
 
 

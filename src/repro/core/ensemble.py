@@ -31,10 +31,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.kernels import _publish, _supports_slab_plant
 from repro.core.tree import SOSPTree
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import Engine, parallel_for_slabs, resolve_engine
+from repro.parallel.api import (
+    Engine,
+    SlabTask,
+    parallel_for_slabs,
+    resolve_engine,
+)
 from repro.types import (
     DIST_DTYPE,
     NO_PARENT,
@@ -129,6 +135,46 @@ class EnsembleGraph:
     num_trees: int
 
 
+def _ensemble_slab(
+    arrays, params, lo: int, hi: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Slab kernel of the vectorised parent comparison (read-only).
+
+    Consumes the stacked ``(k, n)`` parent/dist matrices through the
+    slab-kernel signature, so the shm backend dispatches it by
+    reference over planted arrays while every other engine runs the
+    same body as a closure.  Emits the slab's deduplicated
+    ``(dst, src, weight, count)`` quadruple sorted by vertex.
+    """
+    parents = arrays["ens.parents"]
+    dists = arrays["ens.dists"]
+    k, n = parents.shape
+    valid = (parents[:, lo:hi] != NO_PARENT) & np.isfinite(dists[:, lo:hi])
+    ti, vo = np.nonzero(valid)
+    if ti.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, np.empty(0, dtype=DIST_DTYPE), e
+    v = vo + lo
+    p = parents[ti, v]
+    key = v * n + p  # v-major, parent-minor pair key
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    cuts = np.flatnonzero(np.diff(key_s)) + 1
+    seg = np.concatenate(([0], cuts, [key_s.size]))
+    uniq = key_s[seg[:-1]]
+    cnt = np.diff(seg)
+    weighting = params["weighting"]
+    if weighting == "balanced":
+        w = (k - cnt + 1).astype(DIST_DTYPE)
+    elif weighting == "unit":
+        w = np.ones(uniq.size, dtype=DIST_DTYPE)
+    else:
+        pw = arrays["ens.inv_prio"][ti[order]]
+        w = np.minimum.reduceat(pw, seg[:-1])
+    # key = v*n + p, so parent (edge source) is the remainder
+    return uniq % n, uniq // n, w, cnt
+
+
 def _ensemble_edges_vectorized(
     trees: Sequence[SOSPTree],
     weighting: str,
@@ -150,35 +196,31 @@ def _ensemble_edges_vectorized(
     n = trees[0].num_vertices
     parents = np.stack([t.parent for t in trees]).astype(np.int64)
     dists = np.stack([t.dist for t in trees])
-    valid = (parents != NO_PARENT) & np.isfinite(dists)
     inv_prio = (1.0 / prio) if prio is not None else None
 
+    planted = _supports_slab_plant(eng)
+    arrays: Dict[str, np.ndarray] = {}
+    _publish(eng, planted, arrays, "ens.parents", parents)
+    _publish(eng, planted, arrays, "ens.dists", dists)
+    names = ["ens.parents", "ens.dists"]
+    params = {"weighting": weighting}
+    if inv_prio is not None:
+        _publish(eng, planted, arrays, "ens.inv_prio",
+                 np.ascontiguousarray(inv_prio, dtype=DIST_DTYPE))
+        names.append("ens.inv_prio")
+    task = (
+        SlabTask(ref="repro.core.ensemble:_ensemble_slab",
+                 arrays=tuple(names), params=params)
+        if planted
+        else None
+    )
+
     def run(lo: int, hi: int):
-        ti, vo = np.nonzero(valid[:, lo:hi])
-        if ti.size == 0:
-            e = np.empty(0, dtype=np.int64)
-            return e, e, np.empty(0, dtype=DIST_DTYPE), e
-        v = vo + lo
-        p = parents[ti, v]
-        key = v * n + p  # v-major, parent-minor pair key
-        order = np.argsort(key, kind="stable")
-        key_s = key[order]
-        cuts = np.flatnonzero(np.diff(key_s)) + 1
-        seg = np.concatenate(([0], cuts, [key_s.size]))
-        uniq = key_s[seg[:-1]]
-        cnt = np.diff(seg)
-        if weighting == "balanced":
-            w = (k - cnt + 1).astype(DIST_DTYPE)
-        elif weighting == "unit":
-            w = np.ones(uniq.size, dtype=DIST_DTYPE)
-        else:
-            pw = inv_prio[ti[order]]
-            w = np.minimum.reduceat(pw, seg[:-1])
-        # key = v*n + p, so parent (edge source) is the remainder
-        return uniq % n, uniq // n, w, cnt
+        return _ensemble_slab(arrays, params, lo, hi)
 
     results = parallel_for_slabs(
-        eng, n, run, work_fn=lambda span, r: k * (span[1] - span[0])
+        eng, n, run, work_fn=lambda span, r: k * (span[1] - span[0]),
+        task=task,
     )
     if not results:
         e = np.empty(0, dtype=np.int64)

@@ -32,7 +32,7 @@ Dijkstra recompute by the differential oracle in
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +41,12 @@ if TYPE_CHECKING:  # circular at runtime: sosp_update imports kernels
 
 from repro.core.affected import gather_unique_neighbors_csr
 from repro.graph.csr import CSRGraph
-from repro.parallel.api import Engine, parallel_for_slabs, resolve_engine
+from repro.parallel.api import (
+    Engine,
+    SlabTask,
+    parallel_for_slabs,
+    resolve_engine,
+)
 from repro.parallel.atomics import OwnershipTracker, resolve_tracker
 from repro.types import DIST_DTYPE, INF, NO_PARENT, VERTEX_DTYPE, FloatArray, IntArray
 
@@ -56,6 +61,177 @@ __all__ = [
 #: Minimum frontier vertices (or Step-1 groups) per engine slab — below
 #: this, per-task dispatch overhead dwarfs the vectorised body.
 MIN_SLAB_ITEMS = 64
+
+
+def _supports_slab_plant(engine: Engine) -> bool:
+    """True when the engine takes the shared-memory slab fast path.
+
+    Checked/traced wrappers forward both the flag and ``plant``, so the
+    test works through any wrapper stack; every other backend runs the
+    closure fallback over the raw arrays, unchanged.
+    """
+    return bool(getattr(engine, "supports_slab_dispatch", False)) and callable(
+        getattr(engine, "plant", None)
+    )
+
+
+def _publish(
+    engine: Engine,
+    planted: bool,
+    arrays: Dict[str, np.ndarray],
+    name: str,
+    value: np.ndarray,
+    fingerprint: Optional[Tuple[Any, ...]] = None,
+) -> None:
+    """Bind ``name`` for the next superstep: a shared-memory plant on a
+    slab-dispatch engine (skipped entirely when ``fingerprint`` matches
+    the previous plant — the incremental re-plant path for CSR base
+    arrays), the raw array otherwise."""
+    if planted:
+        arrays[name] = engine.plant(name, value, fingerprint=fingerprint)
+    else:
+        arrays[name] = value
+
+
+def _record_slab_writes(
+    tracker: Optional[OwnershipTracker], results: Any
+) -> None:
+    """Register each slab's improved vertices with the ownership tracker.
+
+    Recording happens on the master *after* the superstep barrier (the
+    returned ``vv`` arrays identify every write) so the §3.1
+    single-writer assertion works identically whether the slab ran in
+    this process or in a shared-memory worker that cannot see the
+    tracker.
+    """
+    if tracker is not None:
+        for slab_idx, (vv, _) in enumerate(results):
+            for v in vv:
+                tracker.record_write(int(v), slab_idx)
+
+
+def _relax_groups_slab(
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, Any],
+    lo: int,
+    hi: int,
+) -> Tuple[IntArray, int]:
+    """Slab kernel for Step 0/1: relax destination groups ``[lo, hi)``.
+
+    All state arrives through ``arrays`` (the slab-kernel signature),
+    so the same function body serves the closure fallback on the raw
+    arrays and the shared-memory dispatch on planted views.  Each
+    destination group lives in exactly one slab, making the in-place
+    ``dist``/``parent``/``marked`` writes race-free.
+    """
+    seg_starts = arrays["step1.seg_starts"]
+    s_src = arrays["step1.s_src"]
+    s_w = arrays["step1.s_w"]
+    groups = arrays["step1.groups"]
+    dist = arrays["sosp.dist"]
+    parent = arrays["sosp.parent"]
+    marked = arrays["sosp.marked"]
+    a, bnd = int(seg_starts[lo]), int(seg_starts[hi])
+    cand = dist[s_src[a:bnd]] + s_w[a:bnd]
+    mins, arg = segmented_argmin(cand, seg_starts[lo : hi + 1] - a)
+    vs = groups[lo:hi]
+    improved = mins < dist[vs]
+    vv = vs[improved]
+    if len(vv):
+        dist[vv] = mins[improved]
+        parent[vv] = s_src[a:bnd][arg[improved]]
+        marked[vv] = 1
+    return np.asarray(vv, dtype=np.int64), bnd - a
+
+
+#: Array names :func:`_propagate_relax_slab` consumes (the
+#: :class:`SlabTask` catalog of every Step-2 superstep).
+_PROPAGATE_ARRAYS: Tuple[str, ...] = (
+    "csr.rev_indptr",
+    "csr.rev_indices",
+    "csr.edge_perm",
+    "csr.weights",
+    "sosp.dist",
+    "sosp.parent",
+    "sosp.marked",
+    "step2.frontier",
+    "step2.t_seg",
+    "step2.t_src",
+    "step2.t_w",
+)
+
+#: Array names :func:`_relax_groups_slab` consumes.
+_RELAX_GROUPS_ARRAYS: Tuple[str, ...] = (
+    "step1.seg_starts",
+    "step1.s_src",
+    "step1.s_w",
+    "step1.groups",
+    "sosp.dist",
+    "sosp.parent",
+    "sosp.marked",
+)
+
+
+def _propagate_relax_slab(
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, Any],
+    lo: int,
+    hi: int,
+) -> Tuple[IntArray, int]:
+    """Slab kernel for Step 2: relax frontier positions ``[lo, hi)``.
+
+    Pull-based: gathers every *marked* predecessor of its frontier
+    vertices through the reverse CSR, reduces with
+    :func:`segmented_argmin`, merges the snapshot's COO-tail candidates
+    (pre-grouped by frontier position in ``step2.t_*``), and applies
+    improved distances in place.  Frontier positions partition across
+    slabs, so writes are single-owner by construction.
+    """
+    frontier = arrays["step2.frontier"]
+    rev_indptr = arrays["csr.rev_indptr"]
+    rev_indices = arrays["csr.rev_indices"]
+    edge_perm = arrays["csr.edge_perm"]
+    w_col = arrays["csr.weights"][:, int(params["objective"])]
+    dist = arrays["sosp.dist"]
+    parent = arrays["sosp.parent"]
+    marked = arrays["sosp.marked"]
+    t_seg = arrays["step2.t_seg"]
+    t_src = arrays["step2.t_src"]
+    t_w = arrays["step2.t_w"]
+
+    f = frontier[lo:hi]
+    idx, seg_starts = gather_ranges(rev_indptr[f], rev_indptr[f + 1])
+    scanned = int(idx.size)
+    if idx.size:
+        preds = rev_indices[idx].astype(np.int64)
+        cand = np.where(
+            marked[preds] == 1,
+            dist[preds] + w_col[edge_perm[idx]],
+            INF,
+        )
+        mins, arg = segmented_argmin(cand, seg_starts)
+        best_u = np.where(arg >= 0, preds[np.maximum(arg, 0)], NO_PARENT)
+    else:
+        mins = np.full(len(f), INF, dtype=DIST_DTYPE)
+        best_u = np.full(len(f), NO_PARENT, dtype=np.int64)
+    # merge tail candidates for frontier positions [lo, hi)
+    a, bnd = np.searchsorted(t_seg, [lo, hi])
+    if bnd > a:
+        ts, tw = t_src[a:bnd], t_w[a:bnd]
+        tcand = np.where(marked[ts] == 1, dist[ts] + tw, INF)
+        tbounds = np.searchsorted(t_seg[a:bnd], np.arange(lo, hi + 1))
+        tmins, targ = segmented_argmin(tcand, tbounds)
+        replace = tmins < mins
+        mins = np.where(replace, tmins, mins)
+        best_u = np.where(replace, ts[np.maximum(targ, 0)], best_u)
+        scanned += int(bnd - a)
+    improved = mins < dist[f]
+    vv = f[improved]
+    if len(vv):
+        dist[vv] = mins[improved]
+        parent[vv] = best_u[improved]
+        marked[vv] = 1
+    return np.asarray(vv, dtype=np.int64), scanned
 
 
 def gather_ranges(
@@ -159,27 +335,38 @@ def relax_batch_groups(
     groups = s_dst[seg_starts[:-1]]
     nseg = len(groups)
 
+    planted = _supports_slab_plant(eng)
+    arrays: Dict[str, np.ndarray] = {}
+    _publish(eng, planted, arrays, "step1.seg_starts", seg_starts)
+    _publish(eng, planted, arrays, "step1.s_src", s_src)
+    _publish(eng, planted, arrays, "step1.s_w", s_w)
+    _publish(eng, planted, arrays, "step1.groups", groups)
+    _publish(eng, planted, arrays, "sosp.dist", dist)
+    _publish(eng, planted, arrays, "sosp.parent", parent)
+    _publish(eng, planted, arrays, "sosp.marked", marked)
+    task = (
+        SlabTask(
+            ref="repro.core.kernels:_relax_groups_slab",
+            arrays=_RELAX_GROUPS_ARRAYS,
+        )
+        if planted
+        else None
+    )
+
     def run(lo: int, hi: int):
-        a, bnd = int(seg_starts[lo]), int(seg_starts[hi])
-        cand = dist[s_src[a:bnd]] + s_w[a:bnd]
-        mins, arg = segmented_argmin(cand, seg_starts[lo : hi + 1] - a)
-        vs = groups[lo:hi]
-        improved = mins < dist[vs]
-        vv = vs[improved]
-        if len(vv):
-            dist[vv] = mins[improved]
-            parent[vv] = s_src[a:bnd][arg[improved]]
-            marked[vv] = 1
-            if tracker is not None:
-                for v in vv:
-                    tracker.record_write(int(v), lo)
-        return vv, bnd - a
+        return _relax_groups_slab(arrays, {}, lo, hi)
 
     results = parallel_for_slabs(
         eng, nseg, run,
         work_fn=lambda span, r: max(1, r[1]),
         min_chunk=MIN_SLAB_ITEMS,
+        task=task,
     )
+    _record_slab_writes(tracker, results)
+    if planted:
+        np.copyto(dist, arrays["sosp.dist"])
+        np.copyto(parent, arrays["sosp.parent"])
+        np.copyto(marked, arrays["sosp.marked"])
     affected = (
         np.concatenate([r[0] for r in results])
         if results else np.empty(0, dtype=np.int64)
@@ -215,95 +402,90 @@ def propagate_csr(
     """
     eng = resolve_engine(engine)
     tracker = resolve_tracker(tracker, eng)
-    w_col = csr.weights[:, objective]
     affected = np.asarray(affected, dtype=np.int64)
 
-    while affected.size:
-        if tracker is not None:
-            tracker.next_superstep()
-        frontier = gather_unique_neighbors_csr(csr, affected)
-        if stats is not None:
-            stats.frontier_sizes.append(int(frontier.size))
-            stats.iterations += 1
-        if frontier.size == 0:
-            break
+    planted = _supports_slab_plant(eng)
+    arrays: Dict[str, np.ndarray] = {}
+    # the frozen CSR base arrays are fingerprinted with the snapshot's
+    # base_stamp: tail-only appends keep the stamp, so re-entering this
+    # kernel after a dynamic batch re-plants nothing (zero copies)
+    base_fp = csr.base_stamp
+    _publish(eng, planted, arrays, "csr.rev_indptr", csr.rev_indptr, base_fp)
+    _publish(eng, planted, arrays, "csr.rev_indices", csr.rev_indices, base_fp)
+    _publish(eng, planted, arrays, "csr.edge_perm", csr.edge_perm, base_fp)
+    _publish(eng, planted, arrays, "csr.weights", csr.weights, base_fp)
+    _publish(eng, planted, arrays, "sosp.dist", dist)
+    _publish(eng, planted, arrays, "sosp.parent", parent)
+    _publish(eng, planted, arrays, "sosp.marked", marked)
+    params = {"objective": int(objective)}
+    task = (
+        SlabTask(
+            ref="repro.core.kernels:_propagate_relax_slab",
+            arrays=_PROPAGATE_ARRAYS,
+            params=params,
+        )
+        if planted
+        else None
+    )
 
-        # tail edges landing on this frontier, grouped by frontier
-        # position (tail is O(|batch|), so this stays cheap)
-        if csr.num_tail_edges:
-            pos = np.searchsorted(frontier, csr.tail_dst)
-            pos_c = np.minimum(pos, frontier.size - 1)
-            sel = frontier[pos_c] == csr.tail_dst
-            t_seg = pos_c[sel]
-            t_order = np.argsort(t_seg, kind="stable")
-            t_seg = t_seg[t_order]
-            t_src = csr.tail_src[sel][t_order]
-            t_w = csr.tail_weights[sel, objective][t_order]
-        else:
-            t_seg = np.empty(0, dtype=np.int64)
-            t_src = np.empty(0, dtype=np.int64)
-            t_w = np.empty(0, dtype=DIST_DTYPE)
+    try:
+        while affected.size:
+            if tracker is not None:
+                tracker.next_superstep()
+            frontier = gather_unique_neighbors_csr(csr, affected)
+            if stats is not None:
+                stats.frontier_sizes.append(int(frontier.size))
+                stats.iterations += 1
+            if frontier.size == 0:
+                break
 
-        def relax(lo: int, hi: int):
-            f = frontier[lo:hi]
-            idx, seg_starts = gather_ranges(
-                csr.rev_indptr[f], csr.rev_indptr[f + 1]
-            )
-            scanned = int(idx.size)
-            if idx.size:
-                preds = csr.rev_indices[idx].astype(np.int64)
-                cand = np.where(
-                    marked[preds] == 1,
-                    dist[preds] + w_col[csr.edge_perm[idx]],
-                    INF,
-                )
-                mins, arg = segmented_argmin(cand, seg_starts)
-                best_u = np.where(
-                    arg >= 0, preds[np.maximum(arg, 0)], NO_PARENT
-                )
+            # tail edges landing on this frontier, grouped by frontier
+            # position (tail is O(|batch|), so this stays cheap)
+            if csr.num_tail_edges:
+                pos = np.searchsorted(frontier, csr.tail_dst)
+                pos_c = np.minimum(pos, frontier.size - 1)
+                sel = frontier[pos_c] == csr.tail_dst
+                t_seg = pos_c[sel]
+                t_order = np.argsort(t_seg, kind="stable")
+                t_seg = t_seg[t_order]
+                t_src = csr.tail_src[sel][t_order]
+                t_w = csr.tail_weights[sel, objective][t_order]
             else:
-                mins = np.full(len(f), INF, dtype=DIST_DTYPE)
-                best_u = np.full(len(f), NO_PARENT, dtype=np.int64)
-            # merge tail candidates for frontier positions [lo, hi)
-            a, bnd = np.searchsorted(t_seg, [lo, hi])
-            if bnd > a:
-                ts, tw = t_src[a:bnd], t_w[a:bnd]
-                tcand = np.where(marked[ts] == 1, dist[ts] + tw, INF)
-                tbounds = np.searchsorted(
-                    t_seg[a:bnd], np.arange(lo, hi + 1)
-                )
-                tmins, targ = segmented_argmin(tcand, tbounds)
-                replace = tmins < mins
-                mins = np.where(replace, tmins, mins)
-                best_u = np.where(
-                    replace, ts[np.maximum(targ, 0)], best_u
-                )
-                scanned += int(bnd - a)
-            improved = mins < dist[f]
-            vv = f[improved]
-            if len(vv):
-                dist[vv] = mins[improved]
-                parent[vv] = best_u[improved]
-                marked[vv] = 1
-                if tracker is not None:
-                    for v in vv:
-                        tracker.record_write(int(v), lo)
-            return vv, scanned
+                t_seg = np.empty(0, dtype=np.int64)
+                t_src = np.empty(0, dtype=np.int64)
+                t_w = np.empty(0, dtype=DIST_DTYPE)
 
-        results = parallel_for_slabs(
-            eng, int(frontier.size), relax,
-            work_fn=lambda span, r: max(1, r[1]),
-            min_chunk=MIN_SLAB_ITEMS,
-        )
-        if stats is not None:
-            stats.relaxations += sum(r[1] for r in results)
-        affected = (
-            np.concatenate([r[0] for r in results])
-            if results else np.empty(0, dtype=np.int64)
-        )
-        if stats is not None:
-            stats.affected_total += int(affected.size)
-            stats.affected_vertices.update(affected.tolist())
+            _publish(eng, planted, arrays, "step2.frontier", frontier)
+            _publish(eng, planted, arrays, "step2.t_seg", t_seg)
+            _publish(eng, planted, arrays, "step2.t_src", t_src)
+            _publish(eng, planted, arrays, "step2.t_w", t_w)
+
+            def relax(lo: int, hi: int):
+                return _propagate_relax_slab(arrays, params, lo, hi)
+
+            results = parallel_for_slabs(
+                eng, int(frontier.size), relax,
+                work_fn=lambda span, r: max(1, r[1]),
+                min_chunk=MIN_SLAB_ITEMS,
+                task=task,
+            )
+            _record_slab_writes(tracker, results)
+            if stats is not None:
+                stats.relaxations += sum(r[1] for r in results)
+            affected = (
+                np.concatenate([r[0] for r in results])
+                if results else np.empty(0, dtype=np.int64)
+            )
+            if stats is not None:
+                stats.affected_total += int(affected.size)
+                stats.affected_vertices.update(affected.tolist())
+    finally:
+        # planted mode mutates the shared views; the caller's arrays are
+        # the contract, so mirror the fixpoint back even on error
+        if planted:
+            np.copyto(dist, arrays["sosp.dist"])
+            np.copyto(parent, arrays["sosp.parent"])
+            np.copyto(marked, arrays["sosp.marked"])
 
 
 def frontier_bellman_ford_csr(

@@ -28,6 +28,7 @@ frozen base and must call :meth:`compact` first — or go through
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Iterator, Tuple, Union
 
 import numpy as np
@@ -77,6 +78,9 @@ class CSRGraph:
     #: batches on tiny graphs without thrashing).
     MIN_TAIL_REBUILD = 64
 
+    #: Process-wide snapshot identity source (see :attr:`uid`).
+    _UID_SOURCE = itertools.count(1)
+
     __slots__ = (
         "n",
         "m",
@@ -91,6 +95,9 @@ class CSRGraph:
         "tail_src",
         "tail_dst",
         "tail_weights",
+        "uid",
+        "base_version",
+        "tail_version",
     )
 
     def __init__(
@@ -107,6 +114,12 @@ class CSRGraph:
             raise VertexError(int(max(src.max(initial=0), dst.max(initial=0))), n)
         self.n = int(n)
         self.k = int(weights.shape[1])
+        #: Process-unique snapshot id; together with the version
+        #: counters it forms the fingerprints shared-memory engines use
+        #: to skip re-copying unchanged arrays (see :attr:`base_stamp`).
+        self.uid = next(self._UID_SOURCE)
+        self.base_version = 0
+        self.tail_version = 0
         self._freeze(src, dst, weights)
         self.tail_src = np.empty(0, dtype=VERTEX_DTYPE)
         self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
@@ -130,6 +143,7 @@ class CSRGraph:
         """(Re)build the sorted base arrays from COO edges."""
         n = self.n
         self.m = int(src.shape[0])
+        self.base_version += 1
 
         # forward CSR: stable sort edges by src
         order = np.argsort(src, kind="stable")
@@ -188,6 +202,26 @@ class CSRGraph:
         """Whether all edges live in the sorted base (empty tail)."""
         return self.num_tail_edges == 0
 
+    @property
+    def base_stamp(self) -> Tuple[int, int]:
+        """Fingerprint of the frozen base arrays.
+
+        Changes exactly when :meth:`_freeze` runs (construction,
+        :meth:`compact`, the rebuild branch of :meth:`append_edges`),
+        so a shared-memory engine can re-plant
+        ``indptr``/``indices``/``weights``/reverse arrays only when the
+        base actually changed — tail-only appends keep the stamp and
+        cost zero copies.
+        """
+        return (self.uid, self.base_version)
+
+    @property
+    def tail_stamp(self) -> Tuple[int, int, int]:
+        """Fingerprint of the COO tail (changes on every append or
+        rebuild; includes the base version because :meth:`compact`
+        empties the tail)."""
+        return (self.uid, self.base_version, self.tail_version)
+
     def append_edges(
         self, src: IntArray, dst: IntArray, weights: FloatArray
     ) -> None:
@@ -213,6 +247,7 @@ class CSRGraph:
         self.tail_src = np.concatenate((self.tail_src, src))
         self.tail_dst = np.concatenate((self.tail_dst, dst))
         self.tail_weights = np.concatenate((self.tail_weights, weights))
+        self.tail_version += 1
         limit = max(self.MIN_TAIL_REBUILD,
                     int(self.TAIL_REBUILD_FRACTION * self.m))
         if self.num_tail_edges > limit:

@@ -146,6 +146,76 @@ class TracedEngine:
                 work_fn=work_fn,
             )
 
+    def parallel_for_slabs(
+        self,
+        n_items: int,
+        task: Any,
+        work_fn: Optional[Callable[[Any, Any], float]] = None,
+        min_chunk: int = 1,
+    ) -> List[Any]:
+        """Slab-dispatch fast path: one span per dispatched superstep.
+
+        The slab spans never leave the master (workers receive only
+        ``(lo, hi)`` indices), so the work distribution is computed
+        here from the backend's ``last_slab_spans`` — spans on the
+        shm backend therefore report the same non-empty
+        ``work_p50/p95/max`` the closure backends do, plus the
+        dispatch payload size in bytes.
+        """
+        tracer = get_tracer()
+        enclosing = current_span()
+        with tracer.span(
+            "superstep",
+            op="parallel_for_slabs",
+            phase=enclosing.name if enclosing is not None else "",
+            backend=self.inner.name,
+            threads=self.threads,
+            items=n_items,
+        ) as sp:
+            results = self.inner.parallel_for_slabs(
+                n_items, task, work_fn=work_fn, min_chunk=min_chunk
+            )
+            spans = list(getattr(self.inner, "last_slab_spans", []) or [])
+            sp.set(
+                slabs=len(spans),
+                dispatch_bytes=int(
+                    getattr(self.inner, "last_dispatch_bytes", 0)
+                ),
+            )
+            if work_fn is not None and results and len(spans) == len(results):
+                costs = sorted(
+                    float(work_fn(spans[i], results[i]))
+                    for i in range(len(results))
+                )
+                n = len(costs)
+                sp.set(
+                    work_total=sum(costs),
+                    work_p50=costs[min(n - 1, round(0.50 * (n - 1)))],
+                    work_p95=costs[min(n - 1, round(0.95 * (n - 1)))],
+                    work_max=costs[-1],
+                )
+            m = get_metrics()
+            if m.enabled:
+                m.counter(
+                    "engine_supersteps_total",
+                    "parallel_for/map_reduce barriers executed",
+                ).inc()
+                m.histogram(
+                    "engine_superstep_items",
+                    "tasks per superstep",
+                ).observe(len(spans))
+        return results
+
+    def plant(self, name: str, array: Any, fingerprint: Any = None) -> Any:
+        """Forward array planting to a shared-memory backend."""
+        return self.inner.plant(name, array, fingerprint=fingerprint)
+
+    def close(self) -> None:
+        """Release the wrapped backend's pool/segments, if it has any."""
+        inner_close = getattr(self.inner, "close", None)
+        if callable(inner_close):
+            inner_close()
+
     def charge(self, units: float) -> None:
         self.inner.charge(units)
 

@@ -15,6 +15,12 @@ abstraction with four interchangeable backends:
 :class:`ProcessEngine`    ``multiprocessing`` pool for embarrassingly parallel
                           stages (e.g. independent per-objective tree updates,
                           the hybrid parallelism of the paper's future work)
+:class:`SharedMemoryEngine`  persistent ``spawn`` pool over
+                          ``multiprocessing.shared_memory``-planted arrays;
+                          supersteps dispatch :class:`~repro.parallel.api.SlabTask`
+                          references and ``(lo, hi)`` slab indices only — the
+                          GIL-free backend that actually runs the vectorised
+                          CSR kernels multicore (see ``docs/PARALLEL.md``)
 :class:`SimulatedEngine`  a deterministic work-span machine model: the same
                           task graph is executed once, each task is charged
                           its reported work, and tasks are scheduled over
@@ -33,12 +39,14 @@ clock; a no-op outside the simulated engine).
 
 from repro.parallel.api import (
     Engine,
+    SlabTask,
     parallel_for_slabs,
     resolve_engine,
     slab_spans,
 )
 from repro.parallel.atomics import OwnershipTracker
 from repro.parallel.backends.processes import ProcessEngine
+from repro.parallel.backends.shm import SharedMemoryEngine
 from repro.parallel.checked import CheckedEngine
 from repro.parallel.backends.serial import SerialEngine
 from repro.parallel.backends.simulated import (
@@ -58,6 +66,8 @@ __all__ = [
     "SerialEngine",
     "ThreadEngine",
     "ProcessEngine",
+    "SharedMemoryEngine",
+    "SlabTask",
     "SimulatedEngine",
     "CostModel",
     "dynamic_makespan",

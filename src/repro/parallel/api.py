@@ -22,10 +22,12 @@ plain values.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -40,7 +42,13 @@ from repro.errors import EngineError
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["Engine", "resolve_engine", "slab_spans", "parallel_for_slabs"]
+__all__ = [
+    "Engine",
+    "SlabTask",
+    "resolve_engine",
+    "slab_spans",
+    "parallel_for_slabs",
+]
 
 
 @runtime_checkable
@@ -83,8 +91,43 @@ class Engine(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class SlabTask:
+    """A superstep task addressable *by reference* instead of by closure.
+
+    Shared-memory engines cannot ship closures to their workers (spawn
+    pickling), so the vectorised kernels describe each superstep as
+
+    - ``ref``: the task function as an importable ``"module:qualname"``
+      string.  The function must have the *slab kernel signature*
+      ``fn(arrays, params, lo, hi)`` where ``arrays`` maps logical
+      names to ndarrays and all mutation goes through ``arrays``;
+    - ``arrays``: the logical names of the arrays the kernel consumes —
+      each must have been published to the engine with
+      :meth:`~repro.parallel.backends.shm.SharedMemoryEngine.plant`;
+    - ``params``: small picklable scalars (never ndarrays — the
+      dispatch path refuses to pickle arrays by design).
+
+    Engines without slab dispatch ignore the task and run the closure
+    fallback that :func:`parallel_for_slabs` also receives.
+    """
+
+    ref: str
+    arrays: Tuple[str, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
 class BaseEngine:
-    """Shared plumbing for concrete engines."""
+    """Shared plumbing for concrete engines.
+
+    Every wall-clock backend accumulates :attr:`work_units` — the sum
+    of ``work_fn(item, result)`` over executed tasks (one unit per task
+    when no ``work_fn`` is given), matching the accounting the
+    simulated backend feeds its virtual clock.  The cross-backend
+    parity of this counter is a regression-tested invariant: a backend
+    that drops ``work_fn`` silently breaks the traced-span work
+    distributions and the simulated replays.
+    """
 
     name = "base"
 
@@ -92,6 +135,21 @@ class BaseEngine:
         if threads < 1:
             raise EngineError(f"threads must be >= 1, got {threads}")
         self.threads = int(threads)
+        self.work_units: float = 0.0
+
+    def _account_work(
+        self,
+        items: Sequence[T],
+        results: Sequence[R],
+        work_fn: Optional[Callable[[T, R], float]],
+    ) -> None:
+        """Accumulate the superstep's work units (master side)."""
+        if work_fn is None:
+            self.work_units += float(len(items))
+        else:
+            self.work_units += float(
+                sum(work_fn(items[i], results[i]) for i in range(len(items)))
+            )
 
     def parallel_for(
         self,
@@ -152,6 +210,7 @@ def parallel_for_slabs(
     fn: Callable[[int, int], R],
     work_fn: Optional[Callable[[Tuple[int, int], R], float]] = None,
     min_chunk: int = 1,
+    task: Optional[SlabTask] = None,
 ) -> List[R]:
     """One superstep over contiguous index slabs: ``fn(lo, hi)`` per slab.
 
@@ -160,7 +219,19 @@ def parallel_for_slabs(
     slab — while letting the task body be a batched numpy kernel.
     ``work_fn(span, result)`` reports work units exactly as in
     :meth:`Engine.parallel_for`.
+
+    When ``task`` is given *and* the engine advertises
+    ``supports_slab_dispatch`` (the shared-memory backend, possibly
+    under checked/traced wrappers), the superstep is dispatched by
+    reference through :class:`SlabTask` — workers read the planted
+    arrays out of shared memory and only the ``(lo, hi)`` spans travel.
+    Every other engine runs the ``fn`` closure exactly as before, so
+    kernels pass both and stay backend-agnostic.
     """
+    if task is not None and getattr(engine, "supports_slab_dispatch", False):
+        return engine.parallel_for_slabs(  # type: ignore[attr-defined]
+            n_items, task, work_fn=work_fn, min_chunk=min_chunk
+        )
     spans = slab_spans(n_items, engine, min_chunk)
     return engine.parallel_for(
         spans, lambda span: fn(span[0], span[1]), work_fn=work_fn
@@ -175,7 +246,7 @@ def resolve_engine(
     """Coerce ``engine`` into an :class:`Engine` instance.
 
     Accepts an existing engine (returned unchanged), ``None`` (serial),
-    or a backend name ``"serial" | "threads" | "processes" |
+    or a backend name ``"serial" | "threads" | "processes" | "shm" |
     "simulated"`` which is instantiated with ``threads``.
 
     ``checked=True`` wraps the resolved backend — any family — in a
@@ -201,6 +272,7 @@ def resolve_engine(
     from repro.obs.tracer import get_tracer
     from repro.parallel.backends.processes import ProcessEngine
     from repro.parallel.backends.serial import SerialEngine
+    from repro.parallel.backends.shm import SharedMemoryEngine
     from repro.parallel.backends.simulated import SimulatedEngine
     from repro.parallel.backends.threads import ThreadEngine
     from repro.parallel.checked import CheckedEngine
@@ -228,6 +300,7 @@ def resolve_engine(
             "serial": SerialEngine,
             "threads": ThreadEngine,
             "processes": ProcessEngine,
+            "shm": SharedMemoryEngine,
             "simulated": SimulatedEngine,
         }
         try:

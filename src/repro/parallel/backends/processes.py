@@ -12,14 +12,24 @@ For non-picklable closures (the common case for the in-place
 shortest-path kernels) the engine degrades to a serial loop and says so
 once via a warning, rather than failing — callers choose engines by
 workload, and a graceful fallback keeps engine choice orthogonal to
-correctness.
+correctness.  The degradation covers *both* halves of the spawn
+round-trip: tasks the master cannot pickle, and tasks the worker
+cannot unpickle (e.g. ``fn`` defined in ``__main__`` under the spawn
+context, where the re-imported ``__main__`` no longer defines it) —
+the worker reports the failure back instead of raising inside the pool
+machinery, which would poison the pool for every later superstep.
+
+For shared-array kernels that must actually run multicore, use the
+shared-memory sibling :class:`~repro.parallel.backends.shm.SharedMemoryEngine`,
+which ships slab indices instead of closures.
 """
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import warnings
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.parallel.api import BaseEngine
 
@@ -28,11 +38,52 @@ R = TypeVar("R")
 
 __all__ = ["ProcessEngine"]
 
+#: First byte of a worker reply: chunk results follow.
+_TAG_RESULTS = b"R"
+#: First byte of a worker reply: the payload did not survive the
+#: spawn round-trip; the repr of the unpickle error follows.
+_TAG_UNPICKLABLE = b"U"
+
 
 def _chunk_runner(payload: bytes) -> bytes:
-    """Executed in the worker process: unpickle (fn, chunk), run, pickle."""
-    fn, chunk = pickle.loads(payload)
-    return pickle.dumps([fn(item) for item in chunk])
+    """Executed in the worker process: unpickle (fn, chunk), run, pickle.
+
+    A payload that pickled fine on the master can still fail to
+    *unpickle* here (spawn re-imports modules; ``__main__`` is not the
+    master's ``__main__``).  Raising would mark the whole pool broken,
+    so the failure is tagged and returned for the master to degrade to
+    its serial fallback.  Exceptions raised by the task itself are NOT
+    caught — they propagate to the master exactly like any other
+    engine's task failure.
+    """
+    try:
+        fn, chunk = pickle.loads(payload)
+    except Exception as exc:  # repro: noqa(R003) - reported to master, which warns and falls back
+        return _TAG_UNPICKLABLE + pickle.dumps(repr(exc))
+    return _TAG_RESULTS + pickle.dumps([fn(item) for item in chunk])
+
+
+def _decode_parts(parts: Sequence[bytes]) -> Tuple[Optional[List[Any]], Optional[str]]:
+    """Decode tagged worker replies: ``(results, None)`` on success,
+    ``(None, error_repr)`` when any worker reported an unpicklable
+    payload."""
+    out: List[Any] = []
+    for blob in parts:
+        tag, body = blob[:1], blob[1:]
+        if tag == _TAG_UNPICKLABLE:
+            return None, pickle.loads(body)
+        out.extend(pickle.loads(body))
+    return out, None
+
+
+def _chunk_bounds(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous chunks."""
+    bounds = [round(i * n / parts) for i in range(parts + 1)]
+    return [
+        (bounds[i], bounds[i + 1])
+        for i in range(parts)
+        if bounds[i] < bounds[i + 1]
+    ]
 
 
 class ProcessEngine(BaseEngine):
@@ -62,14 +113,25 @@ class ProcessEngine(BaseEngine):
 
             ctx = multiprocessing.get_context("spawn")
             self._pool = ctx.Pool(processes=self.threads)
+            # spawn workers survive interpreter teardown unless someone
+            # joins them; the finalizer guarantees that even for engines
+            # nobody closes explicitly (unregistered again on close)
+            atexit.register(self.close)
         return self._pool
 
     def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
+        """Shut the worker pool down gracefully (idempotent).
+
+        ``Pool.close()`` + ``join()`` lets in-flight tasks finish;
+        the old ``terminate()`` could drop them mid-superstep.  The
+        engine stays usable — the next superstep lazily re-creates the
+        pool.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            self._pool.close()
             self._pool.join()
             self._pool = None
+            atexit.unregister(self.close)
 
     def __enter__(self) -> "ProcessEngine":
         return self
@@ -77,13 +139,14 @@ class ProcessEngine(BaseEngine):
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _fallback(self, items, fn):
+    def _fallback(self, items, fn, reason: str = "task is not picklable"):
         if not self._warned:
             warnings.warn(
-                "ProcessEngine task is not picklable; running serially. "
-                "Use ThreadEngine/SimulatedEngine for shared-state kernels.",
+                f"ProcessEngine {reason}; running serially. Use "
+                "SharedMemoryEngine for slab kernels or "
+                "ThreadEngine/SimulatedEngine for shared-state closures.",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
             self._warned = True
         return [fn(item) for item in items]
@@ -98,21 +161,26 @@ class ProcessEngine(BaseEngine):
         if n == 0:
             return []
         if self.threads == 1 or n < self.threads * self.min_items_per_process:
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+            self._account_work(items, results, work_fn)
+            return results
         # split into one chunk per worker, preserving order
-        bounds = [round(i * n / self.threads) for i in range(self.threads + 1)]
         chunks = [
-            list(items[bounds[i] : bounds[i + 1]])
-            for i in range(self.threads)
-            if bounds[i] < bounds[i + 1]
+            list(items[lo:hi]) for lo, hi in _chunk_bounds(n, self.threads)
         ]
         try:
             payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
         except (pickle.PicklingError, AttributeError, TypeError):
-            return self._fallback(items, fn)
+            results = self._fallback(items, fn)
+            self._account_work(items, results, work_fn)
+            return results
         pool = self._ensure_pool()
         parts = pool.map(_chunk_runner, payloads)
-        out: List[R] = []
-        for blob in parts:
-            out.extend(pickle.loads(blob))
+        out, error = _decode_parts(parts)
+        if out is None:
+            out = self._fallback(
+                items, fn,
+                reason=f"task did not survive the spawn round-trip ({error})",
+            )
+        self._account_work(items, out, work_fn)
         return out

@@ -30,4 +30,6 @@ class SerialEngine(BaseEngine):
         fn: Callable[[T], R],
         work_fn: Optional[Callable[[T, R], float]] = None,
     ) -> List[R]:
-        return [fn(item) for item in items]
+        results = [fn(item) for item in items]
+        self._account_work(items, results, work_fn)
+        return results

@@ -1,0 +1,540 @@
+"""Shared-memory process engine: persistent workers, planted arrays.
+
+:class:`~repro.parallel.backends.processes.ProcessEngine` re-pickles
+the task closure and its items on every superstep, so the vectorised
+CSR kernels — whose tasks are closures over multi-megabyte arrays —
+never actually run multicore: they hit the "not picklable" fallback.
+This backend fixes the transport, not the kernels:
+
+1.  The master **plants** each kernel array into a named
+    ``multiprocessing.shared_memory`` segment (:meth:`plant`).  Plants
+    are keyed by logical name (``"csr.rev_indices"``, ``"sosp.dist"``,
+    ...) and carry an optional *fingerprint*: re-planting with an
+    unchanged fingerprint is a no-op (zero copies), which is how the
+    CSR base arrays survive the append-or-rebuild tail policy — a
+    tail-only append keeps the
+    :attr:`~repro.graph.csr.CSRGraph.base_stamp` and therefore the
+    existing segments.
+2.  A persistent ``spawn``-context pool attaches to segments **once**
+    (pool initializer + a per-worker attach cache) and re-uses the
+    mapping across supersteps.
+3.  A superstep dispatches a :class:`~repro.parallel.api.SlabTask`:
+    only the kernel *reference* (``"module:function"``), the segment
+    catalog (names/dtypes/shapes — ~100 bytes per array), scalar
+    params, and the ``(lo, hi)`` slab spans travel.  A guard pickler
+    refuses to serialise any ndarray into a dispatch payload, so "zero
+    per-superstep graph pickling" is enforced by construction, not by
+    convention.
+
+Workers write their slab's results directly into the planted output
+arrays (``dist``/``parent``/``marked``); the paper's per-vertex
+ownership guarantee — each index belongs to exactly one slab — makes
+those writes race-free without locks, exactly as in §3.1.
+
+Degraded modes (always loud, never wrong silently):
+
+- generic ``parallel_for`` with an unpicklable closure → serial
+  fallback with a one-time warning (same contract as ``ProcessEngine``);
+- a worker process dying mid-superstep (``BrokenProcessPool``) → the
+  pool is discarded and lazily re-created, and the superstep re-runs
+  inline on the master's views of the same shared arrays.  Kernel
+  writes are monotone relaxations, so partially applied writes from
+  the dead worker stay valid; improvements it applied but never
+  reported are re-reported only if the re-run still sees them as
+  improvements.
+
+Lifecycle: :meth:`close` drains the pool gracefully and unlinks every
+segment; an ``atexit`` finalizer covers engines nobody closes.  The
+engine is reusable after ``close()`` (pool and plants re-materialise
+lazily) and ``close()`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import io
+import itertools
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context, shared_memory
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.parallel.api import BaseEngine, SlabTask, slab_spans
+from repro.parallel.backends.processes import (
+    _chunk_bounds,
+    _chunk_runner,
+    _decode_parts,
+    _TAG_RESULTS,
+    _TAG_UNPICKLABLE,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["SharedMemoryEngine"]
+
+#: Smallest segment ever allocated (shared memory cannot be 0 bytes,
+#: and tiny plants grow in place up to this for free).
+_MIN_SEGMENT_BYTES = 64
+
+#: Worker-side attach cache bound: segments beyond this are closed
+#: FIFO (replants that grow allocate fresh names, so a long-lived
+#: worker would otherwise accumulate dead mappings).
+_MAX_WORKER_SEGMENTS = 64
+
+#: Unique segment-name source (per master process; the pid is also
+#: embedded so concurrent test runs never collide).
+_SEGMENT_SEQ = itertools.count(1)
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: name -> attached segment, cached for the worker's lifetime ("attach
+#: once"): populated by the pool initializer and lazily afterwards.
+_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+#: "module:qualname" -> resolved kernel callable.
+_KERNELS: Dict[str, Callable[..., Any]] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to (or return the cached mapping of) a named segment."""
+    seg = _SEGMENTS.get(name)
+    if seg is None:
+        seg = shared_memory.SharedMemory(name=name)
+        # Attaching re-registers the segment with the resource tracker
+        # (unconditionally on POSIX up to 3.12).  Pool workers share
+        # the master's tracker process and its cache is a set, so the
+        # duplicate registration is a no-op — do NOT unregister here:
+        # that would remove the master's entry and break its unlink
+        # accounting.
+        while len(_SEGMENTS) >= _MAX_WORKER_SEGMENTS:
+            _SEGMENTS.pop(next(iter(_SEGMENTS))).close()
+        _SEGMENTS[name] = seg
+    return seg
+
+
+def _worker_init(segment_names: Tuple[str, ...]) -> None:
+    """Pool initializer: attach to the already-planted segments once.
+
+    Segments planted after the pool spawned are attached lazily by
+    :func:`_attach_segment` on first use and then cached the same way.
+    """
+    _SEGMENTS.clear()
+    _KERNELS.clear()
+    for name in segment_names:
+        try:
+            _attach_segment(name)
+        except FileNotFoundError:
+            continue  # re-planted away before the worker spawned
+
+
+def _resolve_kernel(ref: str) -> Callable[..., Any]:
+    """Resolve a ``"module:qualname"`` :attr:`SlabTask.ref` (cached)."""
+    fn = _KERNELS.get(ref)
+    if fn is None:
+        module_name, sep, qualname = ref.partition(":")
+        if not sep or not module_name or not qualname:
+            raise EngineError(
+                f"bad SlabTask ref {ref!r}; expected 'module:qualname'"
+            )
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        if not callable(obj):
+            raise EngineError(f"SlabTask ref {ref!r} is not callable")
+        fn = obj
+        _KERNELS[ref] = fn
+    return fn
+
+
+def _run_slab_chunk(payload: bytes) -> bytes:
+    """Executed in the worker: run a chunk of slab spans of one superstep.
+
+    The payload carries only ``(ref, catalog, params, spans)``; the
+    arrays are materialised as views over the attached segments.  The
+    same tagged-reply protocol as
+    :func:`~repro.parallel.backends.processes._chunk_runner` keeps
+    payload decode failures from poisoning the pool.
+    """
+    try:
+        ref, catalog, params, spans = pickle.loads(payload)
+        fn = _resolve_kernel(ref)
+        arrays = {
+            logical: np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=_attach_segment(name).buf
+            )
+            for logical, (name, dtype, shape) in catalog.items()
+        }
+    except Exception as exc:  # repro: noqa(R003) - reported to master, which degrades loudly
+        return _TAG_UNPICKLABLE + pickle.dumps(repr(exc))
+    return _TAG_RESULTS + pickle.dumps(
+        [fn(arrays, params, lo, hi) for lo, hi in spans]
+    )
+
+
+# ----------------------------------------------------------------------
+# master side
+# ----------------------------------------------------------------------
+
+
+class _GuardPickler(pickle.Pickler):
+    """Pickler that refuses to serialise ndarrays.
+
+    Slab dispatch must move indices, never data — any ndarray reaching
+    this pickler means an array leaked into ``params`` (or a kernel
+    ref closed over one) instead of being planted.  Failing the
+    superstep here turns "zero per-superstep graph pickling" from a
+    performance hope into an enforced invariant.
+    """
+
+    def reducer_override(self, obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            raise EngineError(
+                f"slab dispatch tried to pickle an ndarray of "
+                f"{obj.nbytes} bytes; plant() it and pass its logical "
+                f"name in SlabTask.arrays instead"
+            )
+        return NotImplemented
+
+
+def _dumps_guarded(obj: Any) -> bytes:
+    """``pickle.dumps`` through the ndarray guard."""
+    buf = io.BytesIO()
+    _GuardPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+class _Plant:
+    """One planted array: its segment, current view, and bookkeeping."""
+
+    __slots__ = ("segment", "capacity", "view", "fingerprint",
+                 "generation", "copies")
+
+    def __init__(self, segment: shared_memory.SharedMemory,
+                 capacity: int) -> None:
+        self.segment = segment
+        self.capacity = capacity
+        self.view: Optional[np.ndarray] = None
+        self.fingerprint: Optional[Tuple[Any, ...]] = None
+        self.generation = 0
+        self.copies = 0
+
+
+class SharedMemoryEngine(BaseEngine):
+    """Execute slab supersteps over shared-memory-planted arrays.
+
+    Parameters
+    ----------
+    threads:
+        Number of spawn-context worker processes.
+    min_dispatch_items:
+        Slab supersteps smaller than this run inline on the master
+        (dispatch costs ~a millisecond; tiny frontiers aren't worth
+        it).  Tests pass ``1`` to force dispatch.
+    min_items_per_process:
+        Inline threshold of the generic ``parallel_for`` path, as in
+        :class:`~repro.parallel.backends.processes.ProcessEngine`.
+
+    Attributes
+    ----------
+    last_dispatch_bytes:
+        Total payload bytes of the most recent *dispatched* slab
+        superstep — the pickle-counting tests assert this stays
+        catalog-sized (hundreds of bytes) regardless of array sizes.
+    last_slab_spans:
+        The ``(lo, hi)`` spans of the most recent slab superstep
+        (traced wrappers read it to reconstruct work distributions).
+    dispatched_supersteps, inline_supersteps:
+        Counters over slab supersteps.
+    """
+
+    name = "shm"
+    #: Advertises the :func:`~repro.parallel.api.parallel_for_slabs`
+    #: fast path (checked/traced wrappers forward it via delegation).
+    supports_slab_dispatch = True
+
+    def __init__(
+        self,
+        threads: int = 2,
+        min_dispatch_items: int = 2048,
+        min_items_per_process: int = 1,
+    ) -> None:
+        super().__init__(threads=threads)
+        self.min_dispatch_items = int(min_dispatch_items)
+        self.min_items_per_process = int(min_items_per_process)
+        self.last_dispatch_bytes = 0
+        self.last_slab_spans: List[Tuple[int, int]] = []
+        self.dispatched_supersteps = 0
+        self.inline_supersteps = 0
+        self._plants: Dict[str, _Plant] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._leaked_segments: List[shared_memory.SharedMemory] = []
+        self._warned = False
+        self._atexit_registered = False
+
+    # ------------------------------------------------------- lifecycle
+    def _ensure_finalizer(self) -> None:
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.threads,
+                mp_context=get_context("spawn"),
+                initializer=_worker_init,
+                initargs=(
+                    tuple(p.segment.name for p in self._plants.values()),
+                ),
+            )
+            self._ensure_finalizer()
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Drain the pool and unlink every planted segment (idempotent).
+
+        The engine stays usable afterwards: the pool and any re-planted
+        arrays come back lazily on the next superstep.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for rec in self._plants.values():
+            self._release(rec)
+        self._plants.clear()
+        if self._atexit_registered:
+            atexit.unregister(self.close)
+            self._atexit_registered = False
+
+    def _release(self, rec: _Plant) -> None:
+        rec.view = None
+        rec.segment.unlink()
+        try:
+            rec.segment.close()
+        except BufferError:
+            # a caller still holds a view into the segment; the name is
+            # already unlinked, so keep the mapping alive until process
+            # exit instead of failing a routine close()
+            self._leaked_segments.append(rec.segment)
+
+    def __enter__(self) -> "SharedMemoryEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- plants
+    @staticmethod
+    def _segment_name() -> str:
+        return f"repro_{os.getpid()}_{next(_SEGMENT_SEQ)}"
+
+    def plant(
+        self,
+        name: str,
+        array: np.ndarray,
+        fingerprint: Optional[Tuple[Any, ...]] = None,
+    ) -> np.ndarray:
+        """Publish ``array`` under ``name``; return the shared view.
+
+        The returned ndarray is backed by the shared segment: master
+        writes are visible to workers and vice versa.  With a
+        ``fingerprint`` that matches the previous plant of ``name``
+        (same dtype/shape), the existing segment is returned without
+        copying — the incremental re-plant path for CSR base arrays.
+        Otherwise the data is copied in, reusing the segment in place
+        when its capacity suffices and allocating a fresh (power-of-
+        two-sized) segment when it does not.
+        """
+        arr = np.ascontiguousarray(array)
+        rec = self._plants.get(name)
+        if (
+            rec is not None
+            and rec.view is not None
+            and fingerprint is not None
+            and rec.fingerprint == fingerprint
+            and rec.view.dtype == arr.dtype
+            and rec.view.shape == arr.shape
+        ):
+            return rec.view
+        nbytes = int(arr.nbytes)
+        if rec is None or rec.capacity < nbytes:
+            if rec is not None:
+                self._release(rec)
+            capacity = max(
+                _MIN_SEGMENT_BYTES, 1 << max(0, nbytes - 1).bit_length()
+            )
+            segment = shared_memory.SharedMemory(
+                create=True, size=capacity, name=self._segment_name()
+            )
+            rec = _Plant(segment, capacity)
+            self._plants[name] = rec
+            self._ensure_finalizer()
+        rec.view = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=rec.segment.buf)
+        np.copyto(rec.view, arr, casting="no")
+        rec.fingerprint = fingerprint
+        rec.generation += 1
+        rec.copies += 1
+        return rec.view
+
+    @property
+    def plant_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-plant bookkeeping (tests and the bench report read this)."""
+        return {
+            name: {
+                "segment": rec.segment.name,
+                "capacity": rec.capacity,
+                "generation": rec.generation,
+                "copies": rec.copies,
+                "fingerprint": rec.fingerprint,
+            }
+            for name, rec in self._plants.items()
+        }
+
+    # ----------------------------------------------------- slab path
+    def parallel_for_slabs(
+        self,
+        n_items: int,
+        task: SlabTask,
+        work_fn: Optional[Callable[[Tuple[int, int], Any], float]] = None,
+        min_chunk: int = 1,
+    ) -> List[Any]:
+        """One slab superstep dispatched by reference (see module doc)."""
+        spans = slab_spans(n_items, self, min_chunk)
+        self.last_slab_spans = spans
+        if not spans:
+            return []
+        missing = [a for a in task.arrays if a not in self._plants]
+        if missing:
+            raise EngineError(
+                f"SlabTask references unplanted arrays {missing}; call "
+                f"plant() before dispatching"
+            )
+        fn = _resolve_kernel(task.ref)
+        arrays = {a: self._plants[a].view for a in task.arrays}
+        if (
+            self.threads == 1
+            or len(spans) == 1
+            or n_items < self.min_dispatch_items
+        ):
+            self.inline_supersteps += 1
+            results = [fn(arrays, task.params, lo, hi) for lo, hi in spans]
+            self._account_work(spans, results, work_fn)
+            return results
+        catalog = {
+            a: (
+                self._plants[a].segment.name,
+                arrays[a].dtype.str,
+                arrays[a].shape,
+            )
+            for a in task.arrays
+        }
+        params = dict(task.params)
+        payloads = [
+            _dumps_guarded((task.ref, catalog, params, spans[clo:chi]))
+            for clo, chi in _chunk_bounds(len(spans), self.threads)
+        ]
+        self.last_dispatch_bytes = sum(len(p) for p in payloads)
+        self.dispatched_supersteps += 1
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_slab_chunk, p) for p in payloads]
+            parts = [f.result() for f in futures]
+        except BrokenProcessPool:
+            self._reset_pool()
+            self._warn_once(
+                "a worker process died mid-superstep; pool reset, "
+                "re-running the superstep inline"
+            )
+            results = [fn(arrays, task.params, lo, hi) for lo, hi in spans]
+            self._account_work(spans, results, work_fn)
+            return results
+        results, error = _decode_parts(parts)
+        if results is None:
+            raise EngineError(
+                f"slab dispatch payload did not survive the spawn "
+                f"round-trip: {error}"
+            )
+        self._account_work(spans, results, work_fn)
+        return results
+
+    # ----------------------------------------------------- generic path
+    def _warn_once(self, reason: str) -> None:
+        if not self._warned:
+            warnings.warn(
+                f"SharedMemoryEngine {reason}.",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._warned = True
+
+    def _fallback(self, items: Sequence[T], fn: Callable[[T], R],
+                  reason: str) -> List[R]:
+        self._warn_once(f"{reason}; running serially")
+        return [fn(item) for item in items]
+
+    def parallel_for(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        work_fn: Optional[Callable[[T, R], float]] = None,
+    ) -> List[R]:
+        n = len(items)
+        if n == 0:
+            return []
+        if self.threads == 1 or n < self.threads * self.min_items_per_process:
+            results = [fn(item) for item in items]
+            self._account_work(items, results, work_fn)
+            return results
+        chunks = [
+            list(items[lo:hi]) for lo, hi in _chunk_bounds(n, self.threads)
+        ]
+        try:
+            payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+        except (pickle.PicklingError, AttributeError, TypeError):
+            results = self._fallback(items, fn, "task is not picklable")
+            self._account_work(items, results, work_fn)
+            return results
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_chunk_runner, p) for p in payloads]
+            parts = [f.result() for f in futures]
+        except BrokenProcessPool:
+            self._reset_pool()
+            results = self._fallback(
+                items, fn, "a worker process died mid-superstep (pool reset)"
+            )
+            self._account_work(items, results, work_fn)
+            return results
+        out, error = _decode_parts(parts)
+        if out is None:
+            out = self._fallback(
+                items, fn,
+                f"task did not survive the spawn round-trip ({error})",
+            )
+        self._account_work(items, out, work_fn)
+        return out

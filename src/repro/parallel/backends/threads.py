@@ -78,7 +78,9 @@ class ThreadEngine(BaseEngine):
         if n == 0:
             return []
         if n == 1 or self.threads == 1:
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+            self._account_work(items, results, work_fn)
+            return results
         pool = self._ensure_pool()
         chunk = self._chunk_size or max(1, n // (8 * self.threads))
         results: List[Optional[R]] = [None] * n
@@ -101,4 +103,5 @@ class ThreadEngine(BaseEngine):
         futures = [pool.submit(worker) for _ in range(self.threads)]
         for f in futures:
             f.result()  # propagate exceptions, implicit barrier
+        self._account_work(items, results, work_fn)  # type: ignore[arg-type]
         return results  # type: ignore[return-value]

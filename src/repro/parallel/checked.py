@@ -18,8 +18,11 @@ every backend family.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
+import numpy as np
+
+from repro.parallel.api import SlabTask
 from repro.parallel.atomics import OwnershipTracker
 
 T = TypeVar("T")
@@ -97,11 +100,52 @@ class CheckedEngine:
             items, fn, reduce_fn, init, work_fn=work_fn
         )
 
+    def parallel_for_slabs(
+        self,
+        n_items: int,
+        task: SlabTask,
+        work_fn: Optional[Callable[[Tuple[int, int], Any], float]] = None,
+        min_chunk: int = 1,
+    ) -> List[Any]:
+        """Slab-dispatch fast path, still one tracked superstep.
+
+        Worker processes cannot report writes into this tracker, so
+        slab kernels dispatched by reference record their writes on the
+        master after the barrier (see ``repro/core/kernels.py``) — the
+        superstep boundary advanced here keeps those recordings scoped
+        exactly like the closure path's.
+        """
+        self.tracker.next_superstep()
+        return self.inner.parallel_for_slabs(
+            n_items, task, work_fn=work_fn, min_chunk=min_chunk
+        )
+
+    def plant(
+        self,
+        name: str,
+        array: "np.ndarray",
+        fingerprint: Optional[Tuple[Any, ...]] = None,
+    ) -> "np.ndarray":
+        """Forward array planting to a shared-memory backend."""
+        return self.inner.plant(name, array, fingerprint=fingerprint)
+
+    def close(self) -> None:
+        """Release the wrapped backend's pool/segments, if it has any.
+
+        Wrappers used to swallow ``close()`` into ``__getattr__``
+        delegation only when the inner engine defined it; this explicit
+        hop makes ``close()`` safe on every checked engine (a no-op
+        over serial/threads/simulated backends).
+        """
+        inner_close = getattr(self.inner, "close", None)
+        if callable(inner_close):
+            inner_close()
+
     def charge(self, units: float) -> None:
         self.inner.charge(units)
 
     def __getattr__(self, attr: str) -> Any:
-        # backend-specific surface (virtual_time, trace, close, ...)
+        # backend-specific surface (virtual_time, trace, ...)
         return getattr(self.inner, attr)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,74 @@
+"""Picklable task functions for the process/shared-memory engine tests.
+
+Spawn workers re-import task functions by module path, so anything a
+worker must resolve lives here (a stable, importable module) rather
+than inside a test function body.  ``SlabTask`` refs used by the tests
+point at this module, e.g. ``"tests._shm_support:double_slab"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Tuple
+
+import numpy as np
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def add_one(x: int) -> int:
+    return x + 1
+
+
+def double_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> float:
+    """Double ``out[lo:hi]`` in place; return the span sum."""
+    out = arrays["out"]
+    out[lo:hi] *= 2
+    return float(out[lo:hi].sum())
+
+
+def pid_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> Tuple[int, int, int]:
+    """Stamp the executing pid over ``out[lo:hi]``; report it."""
+    out = arrays["out"]
+    out[lo:hi] = os.getpid()
+    return lo, hi, os.getpid()
+
+
+def crash_if_worker_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> int:
+    """Kill the executing process — but only when it is a pool worker.
+
+    The pid guard keeps the documented crash-recovery path (inline
+    re-run on the master) from killing the test runner itself.
+    """
+    if os.getpid() != int(params["master_pid"]):
+        os._exit(3)
+    out = arrays["out"]
+    out[lo:hi] = 1
+    return hi - lo
+
+
+def _raise_on_load() -> None:
+    raise RuntimeError("this callable refuses to unpickle")
+
+
+class MainOnlyFn:
+    """Callable that pickles on the master but cannot unpickle in a
+    worker — the ``fn defined in __main__ under spawn`` failure mode
+    that used to poison the pool."""
+
+    def __call__(self, x: int) -> int:
+        return x + 1
+
+    def __reduce__(self):
+        return (_raise_on_load, ())

@@ -74,4 +74,13 @@ class TestProcessEngine:
         import pickle
 
         blob = pickle.dumps((_square, [2, 3]))
-        assert pickle.loads(_chunk_runner(blob)) == [4, 9]
+        reply = _chunk_runner(blob)
+        assert reply[:1] == b"R"  # tagged: results follow
+        assert pickle.loads(reply[1:]) == [4, 9]
+
+    def test_chunk_runner_reports_undecodable_payload(self):
+        import pickle
+
+        reply = _chunk_runner(b"\x80\x05 not a pickle")
+        assert reply[:1] == b"U"  # tagged: unpicklable, master falls back
+        assert isinstance(pickle.loads(reply[1:]), str)

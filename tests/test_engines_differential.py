@@ -1,0 +1,126 @@
+"""Cross-backend differential property test (satellite 4).
+
+Every backend family — serial, threads, processes, shm, simulated —
+must produce the **identical** distance fixpoint for
+``sosp_update``/``mosp_update`` over random graphs and insertion
+batches.  Serial is the oracle; the other engines only change *how*
+the same supersteps execute (threads: real pool; processes: closure
+round-trip or its documented serial fallback; shm: slab dispatch over
+planted shared-memory arrays; simulated: virtual-clock replay), so the
+label-correcting fixpoint is bitwise reproducible.
+
+The shm engine runs with ``min_dispatch_items=1`` so even the tiny
+hypothesis graphs take the real dispatch path, and the process-pool
+engines are module-scoped — spawning a pool per example would dominate
+the suite.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SOSPTree, mosp_update, sosp_update
+from repro.dynamic import ChangeBatch
+from repro.graph import DiGraph
+from repro.graph.csr import CSRGraph
+from repro.parallel import (
+    ProcessEngine,
+    SerialEngine,
+    SharedMemoryEngine,
+    SimulatedEngine,
+    ThreadEngine,
+)
+
+pytestmark = pytest.mark.slow
+
+ENGINES = [
+    SerialEngine(),
+    ThreadEngine(threads=2),
+    ProcessEngine(threads=2),
+    SharedMemoryEngine(threads=2, min_dispatch_items=1),
+    SimulatedEngine(threads=4),
+]
+
+
+def teardown_module(module) -> None:
+    for e in ENGINES:
+        closer = getattr(e, "close", None)
+        if callable(closer):
+            closer()
+
+
+@st.composite
+def graph_and_batches(draw, k=1, max_n=14, max_batches=3):
+    """A random digraph plus a sequence of random insertion batches."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    weight = st.integers(min_value=0, max_value=9).map(float)
+    edge = st.tuples(
+        st.integers(0, n - 1),
+        st.integers(0, n - 1),
+        st.tuples(*([weight] * k)),
+    )
+    edges = draw(st.lists(edge, min_size=0, max_size=m))
+    g = DiGraph(n, k=k)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    n_batches = draw(st.integers(1, max_batches))
+    batches = [
+        ChangeBatch.insertions(draw(st.lists(edge, min_size=1, max_size=8)))
+        for _ in range(n_batches)
+    ]
+    return g, batches
+
+
+def _run_sosp(engine, graph, batches):
+    """Play the batches through the CSR kernel path on ``engine``."""
+    g = copy.deepcopy(graph)
+    tree = SOSPTree.build(g, 0)
+    snapshot = CSRGraph.from_digraph(g)
+    for batch in batches:
+        batch.apply_to(g)
+        snapshot.append_batch(batch)
+        sosp_update(g, tree, batch, engine=engine,
+                    use_csr_kernels=True, csr=snapshot)
+    return tree
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=graph_and_batches())
+def test_sosp_update_identical_across_backends(data):
+    graph, batches = data
+    reference = _run_sosp(ENGINES[0], graph, batches)
+    for engine in ENGINES[1:]:
+        tree = _run_sosp(engine, graph, batches)
+        np.testing.assert_array_equal(
+            tree.dist, reference.dist,
+            err_msg=f"dist diverged on backend {engine.name}",
+        )
+        g_final = copy.deepcopy(graph)
+        for batch in batches:
+            batch.apply_to(g_final)
+        tree.certify(g_final)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=graph_and_batches(k=2, max_n=10, max_batches=1))
+def test_mosp_update_identical_across_backends(data):
+    graph, batches = data
+    results = []
+    for engine in ENGINES:
+        g = copy.deepcopy(graph)
+        for batch in batches:
+            batch.apply_to(g)
+        trees = [SOSPTree.build(g, 0, objective=i) for i in range(2)]
+        r = mosp_update(g, trees, engine=engine, use_csr_kernels=True)
+        results.append(r.dist_vectors.copy())
+    for engine, dv in zip(ENGINES[1:], results[1:]):
+        np.testing.assert_array_equal(
+            dv, results[0],
+            err_msg=f"MOSP cost vectors diverged on backend {engine.name}",
+        )

@@ -1,4 +1,4 @@
-"""Unit tests for the parallel engines (serial, threads, simulated)."""
+"""Unit tests for the parallel engines (all five backends)."""
 
 import numpy as np
 import pytest
@@ -7,23 +7,33 @@ from repro.errors import EngineError, OwnershipViolation
 from repro.parallel import (
     CostModel,
     OwnershipTracker,
+    ProcessEngine,
     SerialEngine,
+    SharedMemoryEngine,
     SimulatedEngine,
     ThreadEngine,
     WorkMeter,
     resolve_engine,
 )
 
-
-def square(x):
-    return x * x
-
+# importable by spawn workers (closures are not; the process backends
+# degrade to their documented serial fallback on the closure tests)
+from tests._shm_support import square
 
 ALL_ENGINES = [
     SerialEngine(),
     ThreadEngine(threads=3),
+    ProcessEngine(threads=2, min_items_per_process=1),
+    SharedMemoryEngine(threads=2, min_dispatch_items=1),
     SimulatedEngine(threads=4),
 ]
+
+
+def teardown_module(module) -> None:
+    for e in ALL_ENGINES:
+        closer = getattr(e, "close", None)
+        if callable(closer):
+            closer()
 
 
 @pytest.mark.parametrize("engine", ALL_ENGINES, ids=lambda e: e.name)

@@ -1,0 +1,338 @@
+"""Unit tests for :class:`SharedMemoryEngine` and the ProcessEngine
+correctness fixes.
+
+Covers, per the tentpole and satellites:
+
+- plant / fingerprinted re-plant (zero-copy for unchanged CSR bases),
+- zero per-superstep array pickling (the dispatch payload stays
+  catalog-sized no matter how large the planted arrays get, and the
+  guard pickler hard-fails on smuggled ndarrays),
+- worker crash recovery (pool reset + inline re-run),
+- double-close idempotency, segment unlinking, engine reuse,
+- the worker-side unpickle fallback (satellite bug 3) on both process
+  backends,
+- graceful pool close (satellite bug 2),
+- cross-backend work-accounting parity (satellite bug 1), and
+- non-empty traced work distributions on the processes/shm backends.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.obs.engine import TracedEngine
+from repro.obs.tracer import Tracer, use_tracer
+from repro.parallel import (
+    ProcessEngine,
+    SerialEngine,
+    SharedMemoryEngine,
+    SimulatedEngine,
+    SlabTask,
+    ThreadEngine,
+    resolve_engine,
+)
+from tests._shm_support import MainOnlyFn, square
+
+DOUBLE = "tests._shm_support:double_slab"
+PIDS = "tests._shm_support:pid_slab"
+CRASH = "tests._shm_support:crash_if_worker_slab"
+
+
+@pytest.fixture()
+def eng():
+    e = SharedMemoryEngine(threads=2, min_dispatch_items=1)
+    yield e
+    e.close()
+
+
+class TestPlant:
+    def test_plant_copies_and_returns_view(self, eng):
+        arr = np.arange(8, dtype=np.float64)
+        view = eng.plant("out", arr)
+        assert view is not arr
+        np.testing.assert_array_equal(view, arr)
+        arr[0] = 99.0  # caller's array is decoupled from the segment
+        assert view[0] == 0.0
+
+    def test_fingerprint_match_skips_copy(self, eng):
+        a = np.arange(16, dtype=np.int64)
+        v1 = eng.plant("csr.x", a, fingerprint=(7, 1))
+        v2 = eng.plant("csr.x", a, fingerprint=(7, 1))
+        assert v1 is v2
+        assert eng.plant_stats["csr.x"]["copies"] == 1
+
+    def test_fingerprint_change_recopies(self, eng):
+        a = np.arange(16, dtype=np.int64)
+        eng.plant("csr.x", a, fingerprint=(7, 1))
+        eng.plant("csr.x", a + 1, fingerprint=(7, 2))
+        assert eng.plant_stats["csr.x"]["copies"] == 2
+
+    def test_capacity_reuse_and_growth(self, eng):
+        eng.plant("out", np.zeros(8, dtype=np.float64))
+        seg_small = eng.plant_stats["out"]["segment"]
+        # shrinking fits in place: same segment, data re-copied
+        eng.plant("out", np.ones(4, dtype=np.float64))
+        assert eng.plant_stats["out"]["segment"] == seg_small
+        assert eng.plant_stats["out"]["copies"] == 2
+        # growth allocates a fresh segment and unlinks the old one
+        eng.plant("out", np.zeros(4096, dtype=np.float64))
+        assert eng.plant_stats["out"]["segment"] != seg_small
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=seg_small)
+
+    def test_dtype_change_under_same_fingerprint_recopies(self, eng):
+        eng.plant("x", np.zeros(8, dtype=np.float64), fingerprint=(1,))
+        v = eng.plant("x", np.zeros(8, dtype=np.int32), fingerprint=(1,))
+        assert v.dtype == np.int32
+
+
+class TestSlabDispatch:
+    def test_dispatch_runs_and_writes_shared(self, eng):
+        data = np.arange(64, dtype=np.float64)
+        view = eng.plant("out", data)
+        task = SlabTask(ref=DOUBLE, arrays=("out",))
+        results = eng.parallel_for_slabs(64, task)
+        assert eng.dispatched_supersteps == 1
+        np.testing.assert_array_equal(view, data * 2)
+        assert sum(results) == float((data * 2).sum())
+
+    def test_zero_per_superstep_array_pickling(self, eng):
+        """Payload size is catalog-sized and independent of array size."""
+        sizes = {}
+        for n in (1 << 12, 1 << 16):
+            eng.plant("out", np.ones(n, dtype=np.float64))
+            eng.parallel_for_slabs(n, SlabTask(ref=DOUBLE, arrays=("out",)))
+            sizes[n] = eng.last_dispatch_bytes
+        assert all(b < 2048 for b in sizes.values()), sizes
+        # 16x more array data, (near-)identical payload: nothing but
+        # the catalog and the (lo, hi) spans ever crosses the boundary
+        assert sizes[1 << 16] - sizes[1 << 12] < 256
+
+    def test_guard_refuses_ndarray_in_params(self, eng):
+        eng.plant("out", np.zeros(4096, dtype=np.float64))
+        task = SlabTask(
+            ref=DOUBLE, arrays=("out",),
+            params={"smuggled": np.arange(3)},
+        )
+        with pytest.raises(EngineError, match="plant"):
+            eng.parallel_for_slabs(4096, task)
+
+    def test_unplanted_array_rejected(self, eng):
+        task = SlabTask(ref=DOUBLE, arrays=("never-planted",))
+        with pytest.raises(EngineError, match="unplanted"):
+            eng.parallel_for_slabs(8, task)
+
+    def test_runs_in_worker_processes(self, eng):
+        view = eng.plant("out", np.zeros(4096, dtype=np.int64))
+        results = eng.parallel_for_slabs(4096, SlabTask(ref=PIDS,
+                                                        arrays=("out",)))
+        pids = {pid for _, _, pid in results}
+        assert pids and os.getpid() not in pids
+        assert set(np.unique(view)) <= pids
+
+    def test_small_supersteps_run_inline(self):
+        e = SharedMemoryEngine(threads=2, min_dispatch_items=10_000)
+        try:
+            view = e.plant("out", np.ones(32, dtype=np.float64))
+            e.parallel_for_slabs(32, SlabTask(ref=DOUBLE, arrays=("out",)))
+            assert e.inline_supersteps == 1 and e.dispatched_supersteps == 0
+            np.testing.assert_array_equal(view, np.full(32, 2.0))
+        finally:
+            e.close()
+
+    def test_worker_crash_recovery(self, eng):
+        view = eng.plant("out", np.zeros(4096, dtype=np.int64))
+        task = SlabTask(ref=CRASH, arrays=("out",),
+                        params={"master_pid": os.getpid()})
+        with pytest.warns(RuntimeWarning, match="died mid-superstep"):
+            results = eng.parallel_for_slabs(4096, task)
+        # inline re-run completed the superstep on the shared views
+        assert sum(results) == 4096
+        np.testing.assert_array_equal(view, np.ones(4096, dtype=np.int64))
+        # and the engine recovered: the next dispatch uses a fresh pool
+        eng.plant("out", np.ones(4096, dtype=np.float64))
+        out = eng.parallel_for_slabs(
+            4096, SlabTask(ref=DOUBLE, arrays=("out",))
+        )
+        assert sum(out) == 2.0 * 4096
+
+
+class TestLifecycle:
+    def test_double_close_idempotent_and_reusable(self):
+        e = SharedMemoryEngine(threads=2, min_dispatch_items=1)
+        e.plant("out", np.ones(128, dtype=np.float64))
+        e.parallel_for_slabs(128, SlabTask(ref=DOUBLE, arrays=("out",)))
+        seg = e.plant_stats["out"]["segment"]
+        e.close()
+        e.close()  # second close is a no-op, not an error
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=seg)  # segment unlinked
+        # reusable: plants and pool re-materialise lazily
+        view = e.plant("out", np.ones(128, dtype=np.float64))
+        e.parallel_for_slabs(128, SlabTask(ref=DOUBLE, arrays=("out",)))
+        np.testing.assert_array_equal(view, np.full(128, 2.0))
+        e.close()
+
+    def test_context_manager_closes(self):
+        with SharedMemoryEngine(threads=2) as e:
+            e.plant("out", np.zeros(8))
+            seg = e.plant_stats["out"]["segment"]
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=seg)
+
+    def test_process_engine_graceful_close_and_reuse(self):
+        e = ProcessEngine(threads=2, min_items_per_process=1)
+        assert e.parallel_for(list(range(8)), square) == [
+            i * i for i in range(8)
+        ]
+        e.close()
+        e.close()
+        # close() drained and joined; engine lazily rebuilds its pool
+        assert e.parallel_for([3], square) == [9]
+        e.close()
+
+
+class TestUnpickleFallback:
+    """Satellite bug 3: a worker-side unpickle failure must degrade to
+    the serial fallback instead of poisoning the pool."""
+
+    @pytest.mark.parametrize("engine_cls", [ProcessEngine,
+                                            SharedMemoryEngine])
+    def test_worker_unpickle_failure_falls_back(self, engine_cls):
+        e = engine_cls(threads=2, min_items_per_process=1)
+        try:
+            fn = MainOnlyFn()  # pickles fine, refuses to unpickle
+            with pytest.warns(RuntimeWarning, match="spawn round-trip"):
+                out = e.parallel_for(list(range(10)), fn)
+            assert out == [x + 1 for x in range(10)]
+            # the pool survived: a well-behaved task still round-trips
+            assert e.parallel_for(list(range(6)), square) == [
+                i * i for i in range(6)
+            ]
+        finally:
+            e.close()
+
+
+class TestWorkAccountingParity:
+    """Satellite bug 1: every backend accumulates the same work units
+    for the same superstep (ProcessEngine used to drop ``work_fn``)."""
+
+    def _engines(self):
+        return [
+            SerialEngine(),
+            ThreadEngine(threads=2),
+            ProcessEngine(threads=2, min_items_per_process=1),
+            SharedMemoryEngine(threads=2, min_items_per_process=1),
+            SimulatedEngine(threads=2),
+        ]
+
+    def test_with_work_fn(self):
+        items = list(range(16))
+        expected = float(sum(i + 2 for i in items))
+        for e in self._engines():
+            try:
+                e.parallel_for(items, square,
+                               work_fn=lambda i, r: i + 2)
+                assert e.work_units == expected, e.name
+            finally:
+                getattr(e, "close", lambda: None)()
+
+    def test_default_one_unit_per_task(self):
+        items = list(range(11))
+        for e in self._engines():
+            try:
+                e.parallel_for(items, square)
+                assert e.work_units == float(len(items)), e.name
+            finally:
+                getattr(e, "close", lambda: None)()
+
+    def test_fallback_path_still_accounts(self):
+        e = ProcessEngine(threads=2, min_items_per_process=1)
+        try:
+            captured = []
+
+            def closure(x):
+                # unpicklable on purpose: exercises the fallback path
+                captured.append(x)  # repro: noqa(R001)
+                return x
+
+            with pytest.warns(RuntimeWarning):
+                e.parallel_for(list(range(5)), closure,
+                               work_fn=lambda i, r: 3.0)
+            assert e.work_units == 15.0
+        finally:
+            e.close()
+
+
+class TestTracedSpans:
+    """Acceptance: traced spans on processes/shm report non-empty work
+    distributions."""
+
+    def test_processes_spans_have_work_stats(self):
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(ProcessEngine(threads=2,
+                                           min_items_per_process=1))
+            e.parallel_for(list(range(12)), square,
+                           work_fn=lambda i, r: float(i + 1))
+            e.close()
+        spans = [s for s in tracer.drain() if s.name == "superstep"]
+        assert spans
+        sp = spans[0]
+        assert sp.attrs["work_total"] == float(sum(range(1, 13)))
+        assert sp.attrs["work_max"] == 12.0
+        assert sp.attrs["work_p50"] > 0
+
+    def test_shm_slab_spans_have_work_stats(self):
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.ones(4096, dtype=np.float64))
+            e.parallel_for_slabs(
+                4096, SlabTask(ref=DOUBLE, arrays=("out",)),
+                work_fn=lambda span, r: float(span[1] - span[0]),
+            )
+            e.close()
+        spans = [s for s in tracer.drain() if s.name == "superstep"]
+        assert spans
+        sp = spans[0]
+        assert sp.attrs["op"] == "parallel_for_slabs"
+        assert sp.attrs["work_total"] == 4096.0
+        assert sp.attrs["work_p50"] > 0
+        assert sp.attrs["dispatch_bytes"] > 0  # dispatched, not inline
+        assert sp.attrs["slabs"] >= 2
+
+
+class TestResolveAndWrappers:
+    def test_resolve_by_name(self):
+        e = resolve_engine("shm", threads=3, checked=False)
+        try:
+            assert e.name == "shm"
+            assert e.threads == 3
+            assert e.supports_slab_dispatch
+        finally:
+            e.close()
+
+    def test_checked_wrapper_forwards_slab_surface(self):
+        e = resolve_engine("shm", threads=2, checked=True)
+        try:
+            assert e.name == "checked(shm)"
+            assert getattr(e, "supports_slab_dispatch", False)
+            e.plant("out", np.ones(256, dtype=np.float64))
+            e.parallel_for_slabs(256, SlabTask(ref=DOUBLE,
+                                               arrays=("out",)))
+            assert e.tracker.supersteps >= 1
+        finally:
+            e.close()
+
+    def test_close_is_safe_through_wrappers_on_any_backend(self):
+        for name in ("serial", "threads", "processes", "shm",
+                     "simulated"):
+            e = resolve_engine(name, threads=2, checked=True)
+            e.close()  # must never raise, even when inner has no pool
