@@ -114,7 +114,8 @@ def compare_process_backends(
     dist_view = new.plant("bench.dist", dist0)
     new.plant("bench.w", w, fingerprint=("bench.w", seed, n))
     task = SlabTask(ref="repro.bench.engines:_span_via_shm",
-                    arrays=("bench.dist", "bench.w"))
+                    arrays=("bench.dist", "bench.w"),
+                    writes=("bench.dist",))
     new.parallel_for_slabs(n, task)  # warm-up: spawns + attaches
     np.copyto(dist_view, dist0)
     t1 = time.perf_counter()

@@ -210,7 +210,8 @@ def _ensemble_edges_vectorized(
         names.append("ens.inv_prio")
     task = (
         SlabTask(ref="repro.core.ensemble:_ensemble_slab",
-                 arrays=tuple(names), params=params)
+                 arrays=tuple(names), params=params,
+                 writes=())  # read-only kernel: no recovery snapshot
         if planted
         else None
     )

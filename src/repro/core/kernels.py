@@ -171,6 +171,15 @@ _RELAX_GROUPS_ARRAYS: Tuple[str, ...] = (
     "sosp.marked",
 )
 
+#: The arrays both slab kernels mutate — the crash-recovery write set
+#: the shared-memory engine snapshots before dispatching a superstep
+#: (everything else in the catalogs is read-only).
+_SOSP_WRITES: Tuple[str, ...] = (
+    "sosp.dist",
+    "sosp.parent",
+    "sosp.marked",
+)
+
 
 def _propagate_relax_slab(
     arrays: Mapping[str, np.ndarray],
@@ -348,6 +357,7 @@ def relax_batch_groups(
         SlabTask(
             ref="repro.core.kernels:_relax_groups_slab",
             arrays=_RELAX_GROUPS_ARRAYS,
+            writes=_SOSP_WRITES,
         )
         if planted
         else None
@@ -356,17 +366,23 @@ def relax_batch_groups(
     def run(lo: int, hi: int):
         return _relax_groups_slab(arrays, {}, lo, hi)
 
-    results = parallel_for_slabs(
-        eng, nseg, run,
-        work_fn=lambda span, r: max(1, r[1]),
-        min_chunk=MIN_SLAB_ITEMS,
-        task=task,
-    )
+    try:
+        results = parallel_for_slabs(
+            eng, nseg, run,
+            work_fn=lambda span, r: max(1, r[1]),
+            min_chunk=MIN_SLAB_ITEMS,
+            task=task,
+        )
+    finally:
+        # planted mode mutates the shared views; mirror them back even
+        # when dispatch raises mid-Step-1, so partial (still-valid
+        # monotone) relaxations reach the caller's arrays — the same
+        # contract as propagate_csr's finally block
+        if planted:
+            np.copyto(dist, arrays["sosp.dist"])
+            np.copyto(parent, arrays["sosp.parent"])
+            np.copyto(marked, arrays["sosp.marked"])
     _record_slab_writes(tracker, results)
-    if planted:
-        np.copyto(dist, arrays["sosp.dist"])
-        np.copyto(parent, arrays["sosp.parent"])
-        np.copyto(marked, arrays["sosp.marked"])
     affected = (
         np.concatenate([r[0] for r in results])
         if results else np.empty(0, dtype=np.int64)
@@ -423,6 +439,7 @@ def propagate_csr(
             ref="repro.core.kernels:_propagate_relax_slab",
             arrays=_PROPAGATE_ARRAYS,
             params=params,
+            writes=_SOSP_WRITES,
         )
         if planted
         else None

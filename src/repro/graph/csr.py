@@ -125,6 +125,24 @@ class CSRGraph:
         self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
         self.tail_weights = np.empty((0, self.k), dtype=DIST_DTYPE)
 
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore a pickled/copied snapshot under a **fresh** uid.
+
+        ``uid`` is process-local identity: a duplicate (pickle round
+        trip, ``copy.deepcopy``) that kept the original's uid would
+        present the same ``(uid, version)`` fingerprints while its
+        array contents can diverge independently, so a shared-memory
+        engine would skip re-planting and run kernels on stale data.
+        Reassigning here keeps :attr:`base_stamp`/:attr:`tail_stamp`
+        unique per live snapshot object.
+        """
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.uid = next(self._UID_SOURCE)
+
     @staticmethod
     def _coerce_edges(
         src: IntArray, dst: IntArray, weights: FloatArray

@@ -106,7 +106,15 @@ class SlabTask:
       each must have been published to the engine with
       :meth:`~repro.parallel.backends.shm.SharedMemoryEngine.plant`;
     - ``params``: small picklable scalars (never ndarrays — the
-      dispatch path refuses to pickle arrays by design).
+      dispatch path refuses to pickle arrays by design);
+    - ``writes``: the subset of ``arrays`` the kernel mutates.  Crash
+      recovery snapshots exactly this set before a dispatched superstep
+      so a worker death can roll the shared state back and re-run on
+      pristine inputs (see
+      :meth:`~repro.parallel.backends.shm.SharedMemoryEngine.parallel_for_slabs`).
+      ``None`` (the default) means "unknown" and conservatively
+      snapshots every catalog array; declare ``()`` for a read-only
+      kernel to skip the snapshot entirely.
 
     Engines without slab dispatch ignore the task and run the closure
     fallback that :func:`parallel_for_slabs` also receives.
@@ -115,6 +123,7 @@ class SlabTask:
     ref: str
     arrays: Tuple[str, ...]
     params: Mapping[str, Any] = field(default_factory=dict)
+    writes: Optional[Tuple[str, ...]] = None
 
 
 class BaseEngine:

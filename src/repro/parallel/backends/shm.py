@@ -36,12 +36,15 @@ Degraded modes (always loud, never wrong silently):
 - generic ``parallel_for`` with an unpicklable closure → serial
   fallback with a one-time warning (same contract as ``ProcessEngine``);
 - a worker process dying mid-superstep (``BrokenProcessPool``) → the
-  pool is discarded and lazily re-created, and the superstep re-runs
-  inline on the master's views of the same shared arrays.  Kernel
-  writes are monotone relaxations, so partially applied writes from
-  the dead worker stay valid; improvements it applied but never
-  reported are re-reported only if the re-run still sees them as
-  improvements.
+  pool is discarded and lazily re-created, the kernel's write set
+  (:attr:`~repro.parallel.api.SlabTask.writes`; every catalog array
+  when undeclared) is rolled back to a snapshot taken just before
+  dispatch, and the superstep re-runs inline on the master's views.
+  The rollback matters for correctness, not just hygiene: without it,
+  writes applied before the crash (by the dead worker *or* by sibling
+  chunks that completed) would no longer test as improvements on the
+  re-run, so their vertices would silently drop out of the returned
+  affected sets and downstream propagation.
 
 Lifecycle: :meth:`close` drains the pool gracefully and unlinks every
 segment; an ``atexit`` finalizer covers engines nobody closes.  The
@@ -110,13 +113,30 @@ _SEGMENT_SEQ = itertools.count(1)
 #: name -> attached segment, cached for the worker's lifetime ("attach
 #: once"): populated by the pool initializer and lazily afterwards.
 _SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+#: Segments of the chunk currently executing — exempt from eviction.
+#: Numpy does not keep the buffer of an ``np.ndarray(buffer=seg.buf)``
+#: view exported (it releases the Py_buffer right after grabbing the
+#: pointer), so closing a viewed segment would not fail loudly — the
+#: view would silently dangle over unmapped memory.
+_PINNED: set = set()
 #: "module:qualname" -> resolved kernel callable.
 _KERNELS: Dict[str, Callable[..., Any]] = {}
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach to (or return the cached mapping of) a named segment."""
-    seg = _SEGMENTS.get(name)
+    """Attach to (or return the cached mapping of) a named segment.
+
+    The cache is LRU: a hit re-inserts the entry at the hot end, so
+    the long-lived CSR base segments (touched by every superstep) are
+    never the eviction victims — plain FIFO would evict exactly those
+    first once enough replant churn accumulated.  Eviction closes the
+    coldest entry that is neither pinned by the chunk currently
+    materialising its catalog (:data:`_PINNED` — its views would
+    silently dangle) nor still exporting its buffer (``BufferError``
+    on ``close()``); such entries are kept for a later eviction
+    instead of failing or corrupting the superstep.
+    """
+    seg = _SEGMENTS.pop(name, None)
     if seg is None:
         seg = shared_memory.SharedMemory(name=name)
         # Attaching re-registers the segment with the resource tracker
@@ -126,8 +146,21 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         # that would remove the master's entry and break its unlink
         # accounting.
         while len(_SEGMENTS) >= _MAX_WORKER_SEGMENTS:
-            _SEGMENTS.pop(next(iter(_SEGMENTS))).close()
-        _SEGMENTS[name] = seg
+            evicted = False
+            for old_name in list(_SEGMENTS):
+                if old_name in _PINNED:
+                    continue
+                old = _SEGMENTS.pop(old_name)
+                try:
+                    old.close()
+                except BufferError:
+                    _SEGMENTS[old_name] = old  # still exported; defer
+                    continue
+                evicted = True
+                break
+            if not evicted:
+                break  # everything evictable is in use; exceed the bound
+    _SEGMENTS[name] = seg
     return seg
 
 
@@ -177,6 +210,11 @@ def _run_slab_chunk(payload: bytes) -> bytes:
     try:
         ref, catalog, params, spans = pickle.loads(payload)
         fn = _resolve_kernel(ref)
+        # Pin the catalog's segments for the duration of the chunk:
+        # with > _MAX_WORKER_SEGMENTS names in one catalog, a later
+        # attach in this comprehension could otherwise evict (close) a
+        # segment an earlier view is already mapped over.
+        _PINNED.update(name for name, _, _ in catalog.values())
         arrays = {
             logical: np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=_attach_segment(name).buf
@@ -184,10 +222,14 @@ def _run_slab_chunk(payload: bytes) -> bytes:
             for logical, (name, dtype, shape) in catalog.items()
         }
     except Exception as exc:  # repro: noqa(R003) - reported to master, which degrades loudly
+        _PINNED.clear()
         return _TAG_UNPICKLABLE + pickle.dumps(repr(exc))
-    return _TAG_RESULTS + pickle.dumps(
-        [fn(arrays, params, lo, hi) for lo, hi in spans]
-    )
+    try:
+        return _TAG_RESULTS + pickle.dumps(
+            [fn(arrays, params, lo, hi) for lo, hi in spans]
+        )
+    finally:
+        _PINNED.clear()
 
 
 # ----------------------------------------------------------------------
@@ -460,6 +502,17 @@ class SharedMemoryEngine(BaseEngine):
         ]
         self.last_dispatch_bytes = sum(len(p) for p in payloads)
         self.dispatched_supersteps += 1
+        # Pre-dispatch snapshot of the kernel's write set: recovery
+        # must re-run against the exact state the crashed superstep
+        # saw.  Re-running over already-mutated arrays would be
+        # silently wrong — improvements applied before the crash (by
+        # the dead worker or by completed sibling chunks) no longer
+        # test as improvements, so the re-run would omit them from its
+        # returned results (e.g. drop vertices from an affected set).
+        rollback = {
+            a: np.array(arrays[a], copy=True)
+            for a in (task.arrays if task.writes is None else task.writes)
+        }
         try:
             pool = self._ensure_pool()
             futures = [pool.submit(_run_slab_chunk, p) for p in payloads]
@@ -468,13 +521,19 @@ class SharedMemoryEngine(BaseEngine):
             self._reset_pool()
             self._warn_once(
                 "a worker process died mid-superstep; pool reset, "
-                "re-running the superstep inline"
+                "write set rolled back, re-running the superstep inline"
             )
+            for a, snap in rollback.items():
+                np.copyto(arrays[a], snap, casting="no")
             results = [fn(arrays, task.params, lo, hi) for lo, hi in spans]
             self._account_work(spans, results, work_fn)
             return results
         results, error = _decode_parts(parts)
         if results is None:
+            # make the failed superstep atomic: chunks that did run
+            # have already written into the shared views
+            for a, snap in rollback.items():
+                np.copyto(arrays[a], snap, casting="no")
             raise EngineError(
                 f"slab dispatch payload did not survive the spawn "
                 f"round-trip: {error}"

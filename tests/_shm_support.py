@@ -58,6 +58,27 @@ def crash_if_worker_slab(
     return hi - lo
 
 
+def crash_after_write_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> int:
+    """Relaxation-style kernel that dies AFTER mutating its slab.
+
+    Counts the zero entries of its span (the "improvements"), writes
+    them to 1, then kills the process — but only in a pool worker (pid
+    guard as in :func:`crash_if_worker_slab`).  A recovery re-run that
+    does not first roll the write set back sees the already-written 1s,
+    reports 0 improvements for those spans, and under-counts — exactly
+    how a lost `affected` vertex manifests in the real kernels.
+    """
+    out = arrays["out"]
+    improved = int((out[lo:hi] == 0).sum())
+    out[lo:hi] = 1
+    if os.getpid() != int(params["master_pid"]):
+        os._exit(3)
+    return improved
+
+
 def _raise_on_load() -> None:
     raise RuntimeError("this callable refuses to unpickle")
 

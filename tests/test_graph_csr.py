@@ -122,3 +122,35 @@ class TestRoundTrips:
         assert c.out_neighbors(0).tolist() == [1, 1]
         assert sorted(c.out_weights(0).tolist()) == [1.0, 2.0]
         assert sorted(c.in_weights(1).tolist()) == [1.0, 2.0]
+
+
+class TestSnapshotIdentity:
+    """Duplicated snapshots must not inherit the original's uid: a
+    pickle/deepcopy clone sharing ``(uid, version)`` fingerprints would
+    let a shared-memory engine skip re-planting and run kernels on
+    stale planted data."""
+
+    def test_pickle_roundtrip_reassigns_uid(self, diamond_csr):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(diamond_csr))
+        assert clone.uid != diamond_csr.uid
+        assert clone.base_stamp != diamond_csr.base_stamp
+        assert clone.tail_stamp != diamond_csr.tail_stamp
+        # contents and behaviour survive the round trip
+        np.testing.assert_array_equal(clone.indptr, diamond_csr.indptr)
+        np.testing.assert_array_equal(clone.indices, diamond_csr.indices)
+        np.testing.assert_array_equal(clone.weights, diamond_csr.weights)
+        assert clone.in_neighbors(3).tolist() == \
+            diamond_csr.in_neighbors(3).tolist()
+
+    def test_deepcopy_reassigns_uid(self, diamond_csr):
+        import copy
+
+        clone = copy.deepcopy(diamond_csr)
+        assert clone.base_stamp != diamond_csr.base_stamp
+        # the clones diverge independently afterwards
+        clone.append_edges(np.array([3]), np.array([0]),
+                           np.array([[1.0, 1.0]]))
+        assert diamond_csr.num_tail_edges == 0
+        assert clone.num_tail_edges == 1

@@ -41,6 +41,7 @@ from tests._shm_support import MainOnlyFn, square
 DOUBLE = "tests._shm_support:double_slab"
 PIDS = "tests._shm_support:pid_slab"
 CRASH = "tests._shm_support:crash_if_worker_slab"
+CRASH_AFTER_WRITE = "tests._shm_support:crash_after_write_slab"
 
 
 @pytest.fixture()
@@ -160,6 +161,33 @@ class TestSlabDispatch:
             4096, SlabTask(ref=DOUBLE, arrays=("out",))
         )
         assert sum(out) == 2.0 * 4096
+
+    def test_crash_after_write_loses_no_improvements(self, eng):
+        """A worker that mutates its slab and then dies must not make
+        the recovery re-run under-report: the engine snapshots the
+        task's write set before dispatch and rolls it back, so every
+        pre-crash write still tests as an improvement on the re-run.
+        (Without the rollback the re-run sees the mutated state and
+        silently drops those results — lost `affected` vertices in the
+        real kernels.)"""
+        view = eng.plant("out", np.zeros(4096, dtype=np.int64))
+        task = SlabTask(ref=CRASH_AFTER_WRITE, arrays=("out",),
+                        params={"master_pid": os.getpid()},
+                        writes=("out",))
+        with pytest.warns(RuntimeWarning, match="died mid-superstep"):
+            results = eng.parallel_for_slabs(4096, task)
+        assert sum(results) == 4096  # every improvement re-reported
+        np.testing.assert_array_equal(view, np.ones(4096, dtype=np.int64))
+
+    def test_undeclared_write_set_snapshots_whole_catalog(self, eng):
+        """``writes=None`` (unknown) must stay conservative: the same
+        crash-after-write recovery works with no ``writes`` declared."""
+        eng.plant("out", np.zeros(4096, dtype=np.int64))
+        task = SlabTask(ref=CRASH_AFTER_WRITE, arrays=("out",),
+                        params={"master_pid": os.getpid()})
+        with pytest.warns(RuntimeWarning, match="died mid-superstep"):
+            results = eng.parallel_for_slabs(4096, task)
+        assert sum(results) == 4096
 
 
 class TestLifecycle:
@@ -307,6 +335,114 @@ class TestTracedSpans:
         assert sp.attrs["work_p50"] > 0
         assert sp.attrs["dispatch_bytes"] > 0  # dispatched, not inline
         assert sp.attrs["slabs"] >= 2
+
+
+class TestWorkerAttachCache:
+    """Worker-side attach cache: a hit refreshes LRU order (plain FIFO
+    used to evict the long-lived CSR base segments first — the hottest
+    entries of all), and segments pinned by the chunk currently
+    materialising its catalog are never evicted (numpy views do not
+    keep the buffer exported, so closing one would silently dangle the
+    view rather than fail loudly)."""
+
+    @pytest.fixture()
+    def cache(self, monkeypatch):
+        from repro.parallel.backends import shm as shm_mod
+
+        monkeypatch.setattr(shm_mod, "_SEGMENTS", {})
+        monkeypatch.setattr(shm_mod, "_PINNED", set())
+        owners = []
+        yield shm_mod, owners
+        for seg in shm_mod._SEGMENTS.values():
+            try:
+                seg.close()
+            except BufferError:
+                pass
+        for seg in owners:
+            seg.close()
+            seg.unlink()
+
+    def _create(self, owners, count):
+        for _ in range(count):
+            owners.append(shared_memory.SharedMemory(create=True, size=64))
+        return [s.name for s in owners[-count:]]
+
+    def test_hit_refreshes_lru_and_eviction_picks_cold_entry(
+        self, cache, monkeypatch
+    ):
+        shm_mod, owners = cache
+        monkeypatch.setattr(shm_mod, "_MAX_WORKER_SEGMENTS", 3)
+        names = self._create(owners, 4)
+        for name in names[:3]:
+            shm_mod._attach_segment(name)
+        # a cache hit marks the oldest segment most-recently-used (the
+        # CSR-base access pattern: touched by every superstep)...
+        shm_mod._attach_segment(names[0])
+        # ...so a 4th attach evicts the coldest entry — names[1], not
+        # the insertion-order-oldest names[0]
+        shm_mod._attach_segment(names[3])
+        assert names[0] in shm_mod._SEGMENTS
+        assert names[1] not in shm_mod._SEGMENTS
+
+    def test_pinned_segments_survive_eviction(self, cache, monkeypatch):
+        shm_mod, owners = cache
+        monkeypatch.setattr(shm_mod, "_MAX_WORKER_SEGMENTS", 2)
+        names = self._create(owners, 4)
+        views = [
+            np.ndarray(8, dtype=np.int8,
+                       buffer=shm_mod._attach_segment(n).buf)
+            for n in names[:2]
+        ]
+        # both cached segments belong to the in-flight catalog: the
+        # third attach must defer eviction (grow past the bound), never
+        # close a segment those views are mapped over
+        shm_mod._PINNED.update(names[:2])
+        shm_mod._attach_segment(names[2])
+        assert set(names[:3]) <= set(shm_mod._SEGMENTS)
+        assert views[0][0] == 0 and views[1][0] == 0  # still backed
+        del views
+        # once the chunk finishes (pins cleared), eviction resumes
+        shm_mod._PINNED.clear()
+        shm_mod._attach_segment(names[3])
+        assert len(shm_mod._SEGMENTS) <= 2
+        assert names[3] in shm_mod._SEGMENTS
+
+
+class TestKernelMirrorBack:
+    """relax_batch_groups must mirror the planted views back to the
+    caller's arrays even when slab dispatch raises mid-Step-1,
+    matching propagate_csr's finally-block contract."""
+
+    def test_relax_batch_groups_mirrors_on_dispatch_error(self):
+        from repro.core.kernels import relax_batch_groups
+        from repro.types import DIST_DTYPE, INF, NO_PARENT, VERTEX_DTYPE
+
+        class ExplodingEngine(SharedMemoryEngine):
+            def parallel_for_slabs(self, n_items, task,
+                                   work_fn=None, min_chunk=1):
+                # mutate like a half-finished superstep, then die
+                self._plants["sosp.dist"].view[1] = 0.5
+                self._plants["sosp.marked"].view[1] = 1
+                raise EngineError("worker army vanished")
+
+        e = ExplodingEngine(threads=2, min_dispatch_items=1)
+        try:
+            n = 4
+            dist = np.full(n, INF, dtype=DIST_DTYPE)
+            dist[0] = 0.0
+            parent = np.full(n, NO_PARENT, dtype=VERTEX_DTYPE)
+            marked = np.zeros(n, dtype=np.int8)
+            with pytest.raises(EngineError, match="vanished"):
+                relax_batch_groups(
+                    np.array([0]), np.array([1]),
+                    np.array([0.5], dtype=DIST_DTYPE),
+                    dist, parent, marked, engine=e,
+                )
+            # the partial (monotone-valid) relaxation survived the error
+            assert dist[1] == 0.5
+            assert marked[1] == 1
+        finally:
+            e.close()
 
 
 class TestResolveAndWrappers:
