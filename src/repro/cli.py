@@ -13,8 +13,10 @@ Commands
     One balanced (or priority-weighted) multi-objective path between
     two vertices of an edge-list file.
 ``update-demo``
-    Play random insertion batches over a file or synthetic network and
-    report per-batch incremental-update statistics.
+    Play random insertion (or, with ``--insert-fraction`` /
+    ``--weight-change-fraction``, mixed insert/delete/re-weight)
+    batches over a file or synthetic network and report per-batch
+    incremental-update statistics.
 
 Every command reads/writes the edge-list format of
 :mod:`repro.graph.io` (``u v w1 [.. wk]`` lines).
@@ -29,8 +31,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro._version import __version__
-from repro.core import SOSPTree, mosp_update, sosp_update
-from repro.dynamic import random_insert_batch
+from repro.core import SOSPTree, apply_mixed_batch, mosp_update, sosp_update
+from repro.dynamic import random_insert_batch, random_mixed_batch
 from repro.errors import ReproError
 from repro.graph import (
     CSRGraph,
@@ -116,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("serial", "threads", "processes", "shm",
                             "simulated"))
     u.add_argument("--threads", type=int, default=4)
+    u.add_argument(
+        "--insert-fraction", type=float, default=1.0,
+        help="fraction of each batch that inserts edges; the rest "
+        "deletes (and re-weights, with --weight-change-fraction) live "
+        "edges through the fully dynamic mixed pipeline",
+    )
+    u.add_argument(
+        "--weight-change-fraction", type=float, default=0.0,
+        help="fraction of each batch that re-weights live edges "
+        "(requires insert fraction + weight-change fraction <= 1)",
+    )
     _add_obs_flags(u)
     return p
 
@@ -141,7 +154,7 @@ def _cmd_info(args, out) -> int:
     print("paper: Khanda, Shovan & Das, SC-W 2023 "
           "(doi:10.1145/3624062.3625134)", file=out)
     print("algorithms: sosp_update (Alg 1), mosp_update (Alg 2), "
-          "sosp_update_fulldynamic, IncrementalMOSP", file=out)
+          "sosp_update_mixed (fully dynamic), IncrementalMOSP", file=out)
     print("baselines: dijkstra, bellman_ford (3 variants), "
           "delta_stepping, martins, weighted_sum", file=out)
     print("engines: serial, threads, processes, shm, simulated", file=out)
@@ -218,16 +231,38 @@ def _cmd_update_demo(args, out) -> int:
     print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges "
           f"(engine: {engine.name}"
           f"{', csr kernels' if use_csr else ''})", file=out)
+    mixed = (
+        args.insert_fraction < 1.0 or args.weight_change_fraction > 0.0
+    )
     for step in range(1, args.steps + 1):
-        batch = random_insert_batch(g, args.batch_size,
-                                    seed=args.seed + step)
+        if mixed:
+            batch = random_mixed_batch(
+                g, args.batch_size, seed=args.seed + step,
+                insert_fraction=args.insert_fraction,
+                weight_change_fraction=args.weight_change_fraction,
+            )
+        else:
+            batch = random_insert_batch(g, args.batch_size,
+                                        seed=args.seed + step)
         batch.apply_to(g)
         if snapshot is not None:
-            snapshot.append_batch(batch)
-        stats = sosp_update(g, tree, batch, engine=engine,
-                            use_csr_kernels=use_csr, csr=snapshot)
+            if mixed:
+                snapshot.apply_batch(batch)
+            else:
+                snapshot.append_batch(batch)
+        if mixed:
+            stats = apply_mixed_batch(g, tree, batch, engine=engine,
+                                      use_csr_kernels=use_csr,
+                                      csr=snapshot)
+            extra = (f", {stats.invalidated} invalidated"
+                     f" (-{batch.num_deletions}"
+                     f" ~{batch.num_weight_changes} edges)")
+        else:
+            stats = sosp_update(g, tree, batch, engine=engine,
+                                use_csr_kernels=use_csr, csr=snapshot)
+            extra = ""
         print(
-            f"step {step}: +{batch.num_insertions} edges, "
+            f"step {step}: +{batch.num_insertions} edges{extra}, "
             f"{stats.affected_total} improvements over "
             f"{stats.iterations} iterations, "
             f"{stats.relaxations} relaxations", file=out,

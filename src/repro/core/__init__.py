@@ -7,9 +7,13 @@
   parallel incremental SSSP update with destination grouping (Step 0),
   race-free batch application (Step 1), and iterative affected-frontier
   propagation (Step 2).
-- :func:`~repro.core.deletion.sosp_update_fulldynamic` — the edge
-  deletion extension sketched in the paper's conclusion (two-phase
-  invalidate + repair), making Algorithm 1 fully dynamic.
+- :func:`~repro.core.fully_dynamic.apply_mixed_batch` (alias
+  ``sosp_update_mixed``) — the unified fully dynamic pipeline for
+  mixed insertion / deletion / weight-change batches: one invalidate /
+  seed / propagate pass over the same slab kernels.
+  :func:`~repro.core.deletion.sosp_update_fulldynamic` — the edge
+  deletion extension sketched in the paper's conclusion — is now a
+  compatibility wrapper over it.
 - :func:`~repro.core.ensemble.build_ensemble` — **Algorithm 2 Step 2**:
   the combined graph with ``k − x + 1`` (or priority) edge weights.
 - :func:`~repro.core.mosp_update.mosp_update` — **Algorithm 2**: the
@@ -24,6 +28,11 @@
 """
 
 from repro.core.ensemble import EnsembleGraph, build_ensemble
+from repro.core.fully_dynamic import (
+    MixedUpdateStats,
+    apply_mixed_batch,
+    sosp_update_mixed,
+)
 from repro.core.incremental_ensemble import IncrementalMOSP
 from repro.core.mosp_update import MOSPResult, mosp_update
 from repro.core.deletion import sosp_update_fulldynamic
@@ -34,6 +43,9 @@ __all__ = [
     "SOSPTree",
     "sosp_update",
     "sosp_update_fulldynamic",
+    "apply_mixed_batch",
+    "sosp_update_mixed",
+    "MixedUpdateStats",
     "UpdateStats",
     "build_ensemble",
     "EnsembleGraph",

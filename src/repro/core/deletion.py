@@ -3,44 +3,29 @@
 The paper's conclusion: "While our paper primarily focuses on
 incremental graphs, specifically edge insertions, the algorithm has the
 potential to be adapted for edge deletions.  We plan to address this in
-upcoming work."  This module is that adaptation, following the standard
-two-phase scheme of the authors' earlier SSSP-update framework
-(Khanda et al., TPDS 2022, the paper's [17]):
-
-1. **Invalidate** — a deleted edge that is a *tree* edge disconnects
-   its child's whole subtree from the tree: every vertex of the
-   subtree gets distance ``inf`` and is marked *dirty*.  Deleted
-   non-tree edges change nothing.
-2. **Repair** — dirty vertices are relaxed against *all* their
-   non-dirty predecessors (the connection boundary), then improvements
-   propagate exactly like Algorithm 1 Step 2.  Insertions in the same
-   batch are handled by the normal grouped Step 1 beforehand, so one
-   call processes an arbitrary mixed batch.
-
-The repair phase relaxes from any finite-distance predecessor (not
-only *marked* ones) while dirty vertices remain, because a dirty
-vertex's new best path may enter from a part of the graph the update
-never touched.
+upcoming work."  This module is that adaptation's historical entry
+point.  The actual invalidate / seed / propagate pipeline now lives in
+:mod:`repro.core.fully_dynamic` — one pass that also consumes weight
+changes — and :func:`sosp_update_fulldynamic` is kept as a thin
+compatibility wrapper that re-expresses a
+:class:`~repro.core.fully_dynamic.MixedUpdateStats` in the original
+:class:`FullDynamicStats` vocabulary (invalidate + repair phases, plus
+the embedded insertion-phase stats consumers still unpack).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set
 
-import numpy as np
-
-from repro.core.sosp_update import UpdateStats, sosp_update
+from repro.core.fully_dynamic import apply_mixed_batch
+from repro.core.sosp_update import UpdateStats
 from repro.core.tree import SOSPTree
 from repro.dynamic.changes import ChangeBatch
-from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.obs.metrics import get_metrics
-from repro.obs.tracer import get_tracer
-from repro.parallel.api import Engine, resolve_engine
-from repro.parallel.atomics import resolve_tracker
-from repro.types import INF, NO_PARENT
+from repro.parallel.api import Engine
 
 __all__ = ["sosp_update_fulldynamic", "FullDynamicStats"]
 
@@ -49,8 +34,12 @@ __all__ = ["sosp_update_fulldynamic", "FullDynamicStats"]
 class FullDynamicStats:
     """Profile of one fully dynamic update.
 
-    ``insert_stats`` is the embedded Algorithm-1 run for the batch's
-    insertions (``None`` when the batch had none).
+    ``insert_stats`` is the Algorithm-1-shaped profile of the batch's
+    insertion work (``None`` when the batch had none) — since the
+    unified pipeline seeds and propagates insertions and repairs in one
+    pass, it is the pipeline's own
+    :class:`~repro.core.fully_dynamic.MixedUpdateStats` (an
+    :class:`~repro.core.sosp_update.UpdateStats` subclass).
     ``touched_vertices`` collects every vertex whose distance or parent
     may have changed (invalidated ∪ repaired ∪ insertion-affected) —
     consumers like
@@ -74,38 +63,31 @@ def sosp_update_fulldynamic(
     tree: SOSPTree,
     batch: ChangeBatch,
     engine: Optional[Engine] = None,
+    use_csr_kernels: bool = False,
+    csr: Optional[CSRGraph] = None,
 ) -> FullDynamicStats:
-    """Update ``tree`` in place for a mixed insertion/deletion batch.
+    """Update ``tree`` in place for a mixed batch (compat wrapper).
 
     ``graph`` must already reflect the batch
-    (``batch.apply_to(graph)``).  Deletions are processed first
-    (invalidate + repair), then insertions run through the normal
-    grouped :func:`~repro.core.sosp_update.sosp_update`.
+    (``batch.apply_to(graph)``).  Delegates to
+    :func:`~repro.core.fully_dynamic.apply_mixed_batch` — deletions and
+    weight raises invalidate, then insertions, weight drops, and the
+    dirty boundary seed one shared propagation — and reports the
+    result in the original two-phase vocabulary.
 
     Returns :class:`FullDynamicStats`.
     """
-    if tree.num_vertices != graph.num_vertices:
-        raise AlgorithmError(
-            f"tree spans {tree.num_vertices} vertices, graph has "
-            f"{graph.num_vertices}"
-        )
-    eng = resolve_engine(engine)
-    stats = FullDynamicStats()
-
-    del_src, del_dst = batch.delete_records()
-    if len(del_src):
-        (
-            stats.invalidated,
-            stats.repair_iterations,
-            stats.repair_relaxations,
-            touched,
-        ) = _process_deletions(graph, tree, del_src, del_dst, eng)
-        stats.touched_vertices |= touched
-
-    ins = batch.only_insertions()
-    if ins.num_insertions:
-        stats.insert_stats = sosp_update(graph, tree, ins, engine=eng)
-        stats.touched_vertices |= stats.insert_stats.affected_vertices
+    mx = apply_mixed_batch(
+        graph, tree, batch, engine=engine,
+        use_csr_kernels=use_csr_kernels, csr=csr,
+    )
+    stats = FullDynamicStats(
+        invalidated=mx.invalidated,
+        repair_iterations=mx.iterations,
+        repair_relaxations=mx.relaxations,
+        insert_stats=mx if batch.num_insertions else None,
+        touched_vertices=set(mx.touched_vertices),
+    )
 
     m = get_metrics()
     if m.enabled:
@@ -122,117 +104,3 @@ def sosp_update_fulldynamic(
             "repair frontier waves per fully dynamic update",
         ).observe(stats.repair_iterations)
     return stats
-
-
-# ----------------------------------------------------------------------
-def _process_deletions(
-    graph: DiGraph, tree: SOSPTree, del_src, del_dst, eng: Engine
-) -> Tuple[int, int, int, Set[int]]:
-    """Invalidate subtrees cut by deleted tree edges, then repair.
-
-    Returns ``(invalidated, iterations, relaxations, touched)``."""
-    dist = tree.dist
-    parent = tree.parent
-    objective = tree.objective
-    tracer = get_tracer()
-
-    with tracer.span(
-        "sosp_update_fulldynamic.invalidate", deletions=int(len(del_src))
-    ) as sp_inv:
-        # phase 1: find roots of disconnected subtrees.  A deletion
-        # (u, v) matters iff v's parent pointer crossed that edge and no
-        # surviving parallel (u, v) edge can still certify v's distance.
-        dirty_roots: List[int] = []
-        for u, v in zip(del_src.tolist(), del_dst.tolist()):
-            if parent[v] == u and np.isfinite(dist[v]):
-                w = graph.min_weight_between(u, v, objective)
-                if not np.isclose(dist[u] + w, dist[v]):
-                    dirty_roots.append(v)
-
-        if not dirty_roots:
-            sp_inv.set(invalidated=0)
-            return 0, 0, 0, set()
-
-        # collect entire subtrees below the dirty roots (BFS over tree
-        # children); every member's distance is now unreliable
-        children = tree.children_lists()
-        dirty: Set[int] = set()
-        queue = deque(dirty_roots)
-        while queue:
-            v = queue.popleft()
-            if v in dirty:
-                continue
-            dirty.add(v)
-            queue.extend(children[v])
-        for v in dirty:
-            dist[v] = INF
-            parent[v] = NO_PARENT
-        eng.charge(len(dirty))
-        sp_inv.set(invalidated=len(dirty))
-
-    # phase 2: repair.  Dirty vertices relax against *any* finite
-    # predecessor; improvements then propagate to out-neighbours.  Each
-    # frontier vertex is owned by exactly one task (the frontier is a
-    # set), the same single-writer argument as Algorithm 1 Step 2.
-    weights_col = graph.weight_column(objective)
-    tracker = resolve_tracker(None, eng)
-    frontier = sorted(dirty)
-    touched: Set[int] = set(dirty)
-    iterations = 0
-    relaxations = 0
-    with tracer.span("sosp_update_fulldynamic.repair") as sp_rep:
-        while frontier:
-            iterations += 1
-            if tracker is not None:
-                tracker.next_superstep()
-
-            def relax(task_item: Tuple[int, int]) -> Tuple[int, int]:
-                task_id, v = task_item
-                best = dist[v]
-                best_u = -1
-                scanned = 0
-                for u, eid in graph.in_edges(v):
-                    scanned += 1
-                    nd = dist[u] + weights_col[eid]
-                    if nd < best:
-                        best = nd
-                        best_u = u
-                if best_u >= 0:
-                    if tracker is not None:
-                        tracker.record_write(v, task_id)
-                    dist[v] = best
-                    parent[v] = best_u
-                    return v, scanned
-                return -1, scanned
-
-            results = eng.parallel_for(
-                list(enumerate(frontier)),
-                relax,
-                work_fn=lambda item, r: max(1, r[1]),
-            )
-            relaxations += sum(r[1] for r in results)
-            improved = [v for v, _ in results if v >= 0]
-            touched.update(improved)
-            # next frontier: out-neighbours of improved vertices that
-            # could still get better, plus remaining unreached dirty
-            # vertices
-            nxt: Set[int] = set()
-            for u in improved:
-                for v, eid in graph.out_edges(u):
-                    if dist[u] + weights_col[eid] < dist[v]:
-                        nxt.add(v)
-            for v in dirty:
-                if not np.isfinite(dist[v]) and any(
-                    np.isfinite(dist[u]) for u, _ in graph.in_edges(v)
-                ):
-                    # still disconnected but now has a finite
-                    # predecessor: retry (guaranteed to improve)
-                    nxt.add(v)
-            if not improved:
-                # nothing on the frontier was improvable, and any vertex
-                # in nxt would have been improved had it been improvable
-                # — the repair has reached a fixpoint
-                break
-            frontier = sorted(nxt)
-        sp_rep.set(iterations=iterations, relaxations=relaxations)
-    return len(dirty), iterations, relaxations, touched

@@ -1,0 +1,373 @@
+"""The unified fully dynamic SOSP pipeline for mixed change batches.
+
+:func:`apply_mixed_batch` consumes one :class:`~repro.dynamic.changes.ChangeBatch`
+interleaving insertions, deletions, and weight changes and repairs the
+SOSP tree in a single invalidate / seed / propagate pass — the
+SSSP-Del-style generalisation of the paper's insertion-only Algorithm 1
+and of the deletion extension in :mod:`repro.core.deletion` (which is
+now a thin wrapper over this module):
+
+- **Step D — invalidate.**  A deletion or weight *raise* on a tree edge
+  ``(u, v)`` strands ``v``'s entire subtree: every member's distance
+  becomes ``inf`` and its parent pointer is cleared.  The dirty-root
+  predicate is one-sided — ``parent[v] == u`` and the new certified
+  bound ``dist[u] + min_w(u, v)`` strictly exceeds ``dist[v]`` — so
+  weight *drops* on tree edges never invalidate (the old distance is
+  still a valid upper bound and Step I lowers it instead).  Soundness:
+  when a vertex is *not* invalidated, a live path of length
+  ``≤ dist[v]`` still exists, so every descendant's stored distance
+  remains a valid upper bound.
+- **Step I — seed.**  One batched group relaxation
+  (:func:`~repro.core.kernels.relax_batch_groups`) over the union of
+  (a) one stimulus per distinct inserted / weight-changed ``(u, v)``
+  pair, normalised to the minimum *live* weight so duplicate and
+  self-cancelling edits of one edge collapse to the truth, and (b) the
+  whole connection boundary of the dirty set — every in-edge of every
+  invalidated vertex, gathered vectorised through the reverse CSR
+  (:func:`~repro.core.kernels.gather_in_edges_csr`) on the kernel path.
+  Dirty predecessors contribute ``inf`` candidates, which the segmented
+  argmin ignores.
+- **Step 2/3 — propagate.**  The ordinary Algorithm-1 Step-2 frontier
+  repairs insertion-affected and deletion-orphaned vertices together:
+  :func:`~repro.core.kernels.propagate_csr` on the kernel path, the
+  pointer-chasing reference loop otherwise.  Completeness: every edge
+  violated after the batch either was seeded directly (inserted /
+  re-weighted edges, dirty boundaries) or flows out of a vertex the
+  pipeline improved — and improved vertices are marked and their
+  out-neighbours re-enter the frontier, so the fixpoint equals a
+  from-scratch recompute (certified by the differential-oracle suite).
+
+The pipeline runs unchanged on every engine backend — serial, threads,
+processes, shared-memory slabs, simulated, and their checked wrappers —
+because all mutation happens inside the existing slab kernels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+import repro.core.kernels as kernels
+from repro.core.sosp_update import UpdateStats, propagate_reference
+from repro.core.tree import SOSPTree
+from repro.dynamic.changes import ChangeBatch
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.parallel.api import Engine, resolve_engine
+from repro.parallel.atomics import OwnershipTracker, resolve_tracker
+from repro.types import DIST_DTYPE, INF, NO_PARENT, FloatArray, IntArray
+
+__all__ = ["apply_mixed_batch", "sosp_update_mixed", "MixedUpdateStats"]
+
+
+@dataclass
+class MixedUpdateStats(UpdateStats):
+    """Execution profile of one :func:`apply_mixed_batch` call.
+
+    Extends :class:`~repro.core.sosp_update.UpdateStats` (so the
+    propagation kernels and every stats consumer treat it uniformly;
+    ``step_seconds`` keys are ``"invalidate"`` / ``"seed"`` /
+    ``"propagate"`` here) with the fully dynamic phases:
+
+    Attributes
+    ----------
+    dirty_roots:
+        Tree edges whose deletion / weight raise cut a subtree loose.
+    invalidated:
+        Vertices reset to ``inf`` in Step D (subtree members).
+    seed_stimuli:
+        Candidate edges fed to the Step-I group relaxation (change
+        stimuli plus the dirty connection boundary).
+    touched_vertices:
+        ``affected_vertices ∪ invalidated`` — every vertex whose tree
+        entry may differ from before the call (the set ensemble diffing
+        consumes; an invalidated vertex that stays disconnected changed
+        to ``inf`` without ever being "affected").
+    """
+
+    dirty_roots: int = 0
+    invalidated: int = 0
+    seed_stimuli: int = 0
+    touched_vertices: Set[int] = field(default_factory=set)
+
+
+def apply_mixed_batch(
+    graph: DiGraph,
+    tree: SOSPTree,
+    batch: ChangeBatch,
+    engine: Optional[Engine] = None,
+    check_ownership: bool = False,
+    use_csr_kernels: bool = False,
+    csr: Optional[CSRGraph] = None,
+) -> MixedUpdateStats:
+    """Repair ``tree`` in place after an arbitrary mixed ``batch``.
+
+    Parameters
+    ----------
+    graph:
+        The **updated** graph ``G_{t+1}`` — the batch must already have
+        been applied (``batch.apply_to(graph)``).
+    tree:
+        The SOSP tree of ``G_t``; mutated into the tree of ``G_{t+1}``.
+    batch:
+        Any interleaving of insertion, deletion, and weight-change
+        records, including duplicate and self-cancelling edits of one
+        edge (stimuli are re-normalised against the live graph).
+    engine:
+        Execution engine (``None`` = serial); every backend family is
+        supported because the pipeline reuses the Step-1/Step-2 slab
+        kernels unchanged.
+    check_ownership:
+        Enable the single-writer-per-vertex assertion
+        (:class:`~repro.parallel.atomics.OwnershipTracker`).
+    use_csr_kernels:
+        Route the seed and propagation through the vectorised CSR
+        kernels.  Requires ``csr`` (or a fresh freeze of ``graph``) to
+        reflect the batch — pair ``batch.apply_to(graph)`` with
+        ``csr.apply_batch(batch)``.
+    csr:
+        Optional incrementally maintained snapshot for the kernel path
+        (``None`` freezes ``graph`` on entry).
+
+    Returns
+    -------
+    :class:`MixedUpdateStats`
+    """
+    if tree.num_vertices != graph.num_vertices:
+        raise AlgorithmError(
+            f"tree spans {tree.num_vertices} vertices, graph has "
+            f"{graph.num_vertices}; rebuild or grow the tree first"
+        )
+    eng = resolve_engine(engine)
+    stats = MixedUpdateStats()
+    dist = tree.dist
+    parent = tree.parent
+    objective = tree.objective
+    n = graph.num_vertices
+    marked = np.zeros(n, dtype=np.int8)
+    tracker = (
+        OwnershipTracker() if check_ownership else resolve_tracker(None, eng)
+    )
+    tracer = get_tracer()
+
+    snapshot: Optional[CSRGraph] = None
+    if use_csr_kernels:
+        snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
+        if snapshot.n != n:
+            raise AlgorithmError(
+                f"CSR snapshot spans {snapshot.n} vertices, graph has {n}"
+            )
+        if snapshot.num_edges != graph.num_edges:
+            raise AlgorithmError(
+                f"CSR snapshot has {snapshot.num_edges} edges, graph has "
+                f"{graph.num_edges}: pair batch.apply_to(graph) with "
+                f"snapshot.apply_batch(batch) to keep them in sync"
+            )
+
+    # ------------------------------------------------------ Step D
+    with tracer.span(
+        "sosp_update_mixed.invalidate",
+        deletions=int(batch.num_deletions),
+        weight_changes=int(batch.num_weight_changes),
+    ) as sp_inv:
+        dirty = _invalidate(graph, tree, batch, stats)
+        if dirty:
+            for v in dirty:
+                dist[v] = INF
+                parent[v] = NO_PARENT
+            eng.charge(len(dirty))
+        sp_inv.set(invalidated=len(dirty))
+    stats.step_seconds["invalidate"] = sp_inv.elapsed
+    stats.touched_vertices |= dirty
+
+    # ------------------------------------------------------ Step I
+    with tracer.span("sosp_update_mixed.seed") as sp_seed:
+        s_src, s_dst, s_w = _gather_stimuli(
+            graph, batch, dirty, objective, snapshot
+        )
+        stats.seed_stimuli = int(s_src.size)
+        affected_arr, scanned = kernels.relax_batch_groups(
+            s_src, s_dst, s_w, dist, parent, marked,
+            engine=eng, tracker=tracker,
+        )
+        sp_seed.set(stimuli=stats.seed_stimuli,
+                    affected=int(affected_arr.size))
+    stats.step_seconds["seed"] = sp_seed.elapsed
+    stats.step1_passes = 1
+    stats.relaxations += scanned
+    stats.affected_initial = int(affected_arr.size)
+    stats.affected_total = int(affected_arr.size)
+    stats.affected_vertices.update(int(v) for v in affected_arr)
+
+    # ------------------------------------------------------ Step 2/3
+    with tracer.span(
+        "sosp_update_mixed.propagate",
+        kernel="csr" if use_csr_kernels else "python",
+    ) as sp_prop:
+        if use_csr_kernels:
+            assert snapshot is not None
+            kernels.propagate_csr(
+                snapshot, dist, parent, marked, affected_arr,
+                objective=objective, engine=eng, stats=stats,
+                tracker=tracker,
+            )
+        else:
+            propagate_reference(
+                graph, objective, dist, parent, marked,
+                [int(v) for v in affected_arr], eng, stats, tracker,
+            )
+    stats.step_seconds["propagate"] = sp_prop.elapsed
+    stats.touched_vertices |= stats.affected_vertices
+    _publish_mixed_stats(stats, batch)
+    return stats
+
+
+#: Public alias: the paper-style entry-point name.
+sosp_update_mixed = apply_mixed_batch
+
+
+# ----------------------------------------------------------------------
+def _invalidate(
+    graph: DiGraph,
+    tree: SOSPTree,
+    batch: ChangeBatch,
+    stats: MixedUpdateStats,
+) -> Set[int]:
+    """Step D: collect the dirty set without mutating the tree yet.
+
+    A deletion or weight-change record ``(u, v)`` cuts ``v`` loose iff
+    ``v``'s parent pointer crosses that edge and no surviving parallel
+    ``(u, v)`` edge certifies a distance ``≤ dist[v]``.  The test is
+    strictly one-sided (``nd > dist[v]``): a weight drop on the parent
+    edge leaves ``dist[v]`` a valid upper bound, and the matching Step-I
+    stimulus lowers it without the invalidation churn.
+    """
+    dist = tree.dist
+    parent = tree.parent
+    objective = tree.objective
+
+    del_src, del_dst = batch.delete_records()
+    wc_src, wc_dst, _wc_w = batch.weight_change_records()
+    pairs = zip(
+        np.concatenate((del_src, wc_src)).tolist(),
+        np.concatenate((del_dst, wc_dst)).tolist(),
+    )
+    roots: List[int] = []
+    seen_roots: Set[int] = set()
+    for u, v in pairs:
+        if v in seen_roots or parent[v] != u or not np.isfinite(dist[v]):
+            continue
+        nd = dist[u] + graph.min_weight_between(u, v, objective)
+        if nd > dist[v] and not np.isclose(nd, dist[v]):
+            roots.append(v)
+            seen_roots.add(v)
+    stats.dirty_roots = len(roots)
+    if not roots:
+        return set()
+
+    children = tree.children_lists()
+    dirty: Set[int] = set()
+    queue = deque(roots)
+    while queue:
+        v = queue.popleft()
+        if v in dirty:
+            continue
+        dirty.add(v)
+        queue.extend(children[v])
+    stats.invalidated = len(dirty)
+    return dirty
+
+
+def _gather_stimuli(
+    graph: DiGraph,
+    batch: ChangeBatch,
+    dirty: Set[int],
+    objective: int,
+    snapshot: Optional[CSRGraph],
+) -> Tuple[IntArray, IntArray, FloatArray]:
+    """Assemble the Step-I candidate edges ``(src, dst, weight)``.
+
+    Change stimuli come first (one per distinct inserted /
+    weight-changed pair, normalised to the minimum live weight so the
+    batch's record order and duplicates cannot disagree with the
+    graph), then the dirty boundary — every in-edge of every
+    invalidated vertex.  Order is deterministic, and duplicates between
+    the two groups are harmless: the group relaxation reduces each
+    destination with one segmented argmin.
+    """
+    stim_src: List[int] = []
+    stim_dst: List[int] = []
+    stim_w: List[float] = []
+    seen: Set[Tuple[int, int]] = set()
+    ins_src, ins_dst, _ins_w = batch.insert_records()
+    wc_src, wc_dst, _wc_w = batch.weight_change_records()
+    for u, v in zip(
+        np.concatenate((ins_src, wc_src)).tolist(),
+        np.concatenate((ins_dst, wc_dst)).tolist(),
+    ):
+        if (u, v) in seen:
+            continue
+        seen.add((u, v))
+        live = graph.min_weight_between(u, v, objective)
+        if np.isfinite(live):
+            stim_src.append(u)
+            stim_dst.append(v)
+            stim_w.append(float(live))
+
+    src = np.asarray(stim_src, dtype=np.int64)
+    dst = np.asarray(stim_dst, dtype=np.int64)
+    w = np.asarray(stim_w, dtype=DIST_DTYPE)
+    if dirty:
+        dirty_arr = np.asarray(sorted(dirty), dtype=np.int64)
+        if snapshot is not None:
+            b_src, b_dst, b_w = kernels.gather_in_edges_csr(
+                snapshot, dirty_arr, objective
+            )
+        else:
+            weights_col = graph.weight_column(objective)
+            bs: List[int] = []
+            bd: List[int] = []
+            bw: List[float] = []
+            for v in dirty_arr.tolist():
+                for u, eid in graph.in_edges(v):
+                    bs.append(u)
+                    bd.append(v)
+                    bw.append(float(weights_col[eid]))
+            b_src = np.asarray(bs, dtype=np.int64)
+            b_dst = np.asarray(bd, dtype=np.int64)
+            b_w = np.asarray(bw, dtype=DIST_DTYPE)
+        src = np.concatenate((src, b_src))
+        dst = np.concatenate((dst, b_dst))
+        w = np.concatenate((w, b_w))
+    return src, dst, w
+
+
+def _publish_mixed_stats(stats: MixedUpdateStats, batch: ChangeBatch) -> None:
+    """Publish one finished mixed update to the metrics registry."""
+    m = get_metrics()
+    if not m.enabled:
+        return
+    m.counter("mixed_updates_total", "fully dynamic mixed updates").inc()
+    m.counter(
+        "mixed_invalidated_total",
+        "vertices invalidated by deleted/raised tree edges",
+    ).inc(stats.invalidated)
+    m.counter(
+        "mixed_relaxations_total",
+        "edges examined across seed + propagation",
+    ).inc(stats.relaxations)
+    m.histogram("mixed_batch_size", "records per mixed batch").observe(
+        batch.num_changes
+    )
+    m.histogram(
+        "mixed_seed_stimuli", "Step-I candidate edges per update"
+    ).observe(stats.seed_stimuli)
+    m.histogram(
+        "mixed_propagate_iterations", "frontier waves per mixed update"
+    ).observe(stats.iterations)

@@ -53,10 +53,17 @@ from repro.types import DIST_DTYPE, INF, NO_PARENT, VERTEX_DTYPE, FloatArray, In
 __all__ = [
     "gather_ranges",
     "segmented_argmin",
+    "gather_in_edges_csr",
     "relax_batch_groups",
     "propagate_csr",
     "frontier_bellman_ford_csr",
 ]
+
+#: Import ref of the Step-2 slab kernel, resolved inside shared-memory
+#: workers.  A module constant (rather than an inline literal) so the
+#: crash-recovery tests can monkeypatch in a kernel that dies
+#: mid-superstep while delegating to the real one on the master.
+_PROPAGATE_SLAB_REF = "repro.core.kernels:_propagate_relax_slab"
 
 #: Minimum frontier vertices (or Step-1 groups) per engine slab — below
 #: this, per-task dispatch overhead dwarfs the vectorised body.
@@ -307,6 +314,41 @@ def segmented_argmin(
     return mins, arg
 
 
+def gather_in_edges_csr(
+    csr: CSRGraph, vertices: IntArray, objective: int = 0
+) -> Tuple[IntArray, IntArray, FloatArray]:
+    """All in-edges of ``vertices`` as ``(src, dst, weight)`` arrays.
+
+    One concatenated reverse-CSR slice (:func:`gather_ranges`) plus a
+    mask over the incremental COO tail — the vectorised gather the
+    fully dynamic pipeline uses to seed invalidated vertices against
+    their entire connection boundary.  Tombstoned rows come back with
+    ``inf`` weights, which every downstream min-relaxation ignores.
+    Order is deterministic: reverse-CSR rows per vertex, then tail rows
+    in append order.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=DIST_DTYPE),
+        )
+    idx, seg_starts = gather_ranges(
+        csr.rev_indptr[vertices], csr.rev_indptr[vertices + 1]
+    )
+    src = csr.rev_indices[idx].astype(np.int64)
+    dst = np.repeat(vertices, np.diff(seg_starts))
+    w = csr.weights[csr.edge_perm[idx], objective]
+    if csr.num_tail_edges:
+        hit = np.isin(csr.tail_dst, vertices)
+        if hit.any():
+            src = np.concatenate((src, csr.tail_src[hit].astype(np.int64)))
+            dst = np.concatenate((dst, csr.tail_dst[hit].astype(np.int64)))
+            w = np.concatenate((w, csr.tail_weights[hit, objective]))
+    return src, dst, w
+
+
 def relax_batch_groups(
     src: IntArray,
     dst: IntArray,
@@ -436,7 +478,7 @@ def propagate_csr(
     params = {"objective": int(objective)}
     task = (
         SlabTask(
-            ref="repro.core.kernels:_propagate_relax_slab",
+            ref=_PROPAGATE_SLAB_REF,
             arrays=_PROPAGATE_ARRAYS,
             params=params,
             writes=_SOSP_WRITES,

@@ -120,8 +120,11 @@ def mosp_update(
         One SOSP tree per objective, all rooted at the same source,
         with ``trees[i].objective == i``.  Updated in place.
     batch:
-        Insertion batch; ``None`` skips Step 1 (recombine-only mode,
-        useful after external tree maintenance).
+        Change batch — any mix of insertions, deletions, and weight
+        changes (mixed batches route Step 1 through
+        :func:`~repro.core.fully_dynamic.apply_mixed_batch`); ``None``
+        skips Step 1 (recombine-only mode, useful after external tree
+        maintenance).
     engine:
         Execution engine shared by all steps.
     weighting, priorities:
@@ -152,8 +155,9 @@ def mosp_update(
         :class:`~repro.graph.csr.CSRGraph` snapshot of ``graph``
         (``use_csr_kernels=True`` only); one snapshot is frozen from
         ``graph`` per call when omitted.  Callers maintaining it across
-        batches must ``csr.append_batch(batch)`` alongside
-        ``batch.apply_to(graph)``.
+        batches must ``csr.apply_batch(batch)`` alongside
+        ``batch.apply_to(graph)`` (``append_batch`` for insertion-only
+        batches).
 
     Returns
     -------
@@ -199,7 +203,7 @@ def mosp_update(
     # ------------------------------------------------------ step 1
     if batch is not None and batch.num_changes:
         snapshot: Optional[CSRGraph] = None
-        if use_csr_kernels and not batch.num_deletions:
+        if use_csr_kernels:
             snapshot = csr if csr is not None else CSRGraph.from_digraph(graph)
         for i in range(k):
             stats, _touched = timed(
@@ -283,18 +287,23 @@ def _update_tree_step1(
 ) -> Tuple[Optional[UpdateStats], Set[int]]:
     """Algorithm-2 Step 1 for one per-objective tree.
 
-    Dispatches to the fully dynamic variant when the batch carries
-    deletions, otherwise to plain Algorithm 1 (optionally through the
-    CSR kernels).  Returns ``(stats, touched)`` where ``stats`` is the
-    insertion-phase :class:`UpdateStats` (``None`` when the fully
-    dynamic path had nothing to reinsert) and ``touched`` is the set of
-    vertices whose tree entry may have changed.
+    Dispatches to the unified fully dynamic pipeline
+    (:func:`~repro.core.fully_dynamic.apply_mixed_batch`) when the
+    batch carries deletions or weight changes, otherwise to plain
+    Algorithm 1 — through the CSR kernels either way when requested.
+    Returns ``(stats, touched)`` where ``stats`` is the Algorithm-1
+    :class:`UpdateStats` (or its mixed-pipeline subclass) and
+    ``touched`` is the set of vertices whose tree entry may have
+    changed.
     """
-    if batch.num_deletions:
-        from repro.core.deletion import sosp_update_fulldynamic
+    if batch.num_deletions or batch.num_weight_changes:
+        from repro.core.fully_dynamic import apply_mixed_batch
 
-        fd = sosp_update_fulldynamic(graph, tree, batch, engine=eng)
-        return fd.insert_stats, set(fd.touched_vertices)
+        mx = apply_mixed_batch(
+            graph, tree, batch, engine=eng,
+            use_csr_kernels=use_csr_kernels, csr=csr,
+        )
+        return mx, set(mx.touched_vertices)
     stats = sosp_update(
         graph, tree, batch, engine=eng,
         use_csr_kernels=use_csr_kernels, csr=csr,

@@ -43,7 +43,7 @@ from repro.obs.tracer import get_tracer
 from repro.parallel.api import Engine, resolve_engine
 from repro.parallel.atomics import OwnershipTracker, resolve_tracker
 
-__all__ = ["sosp_update", "UpdateStats"]
+__all__ = ["sosp_update", "UpdateStats", "propagate_reference"]
 
 
 @dataclass
@@ -142,10 +142,11 @@ def sosp_update(
     -------
     :class:`UpdateStats`
     """
-    if batch.num_deletions:
+    if batch.num_deletions or batch.num_weight_changes:
         raise AlgorithmError(
             "sosp_update handles insertions only; use "
-            "sosp_update_fulldynamic for batches with deletions"
+            "sosp_update_fulldynamic (or apply_mixed_batch) for batches "
+            "with deletions or weight changes"
         )
     if tree.num_vertices != graph.num_vertices:
         raise AlgorithmError(
@@ -238,49 +239,75 @@ def sosp_update(
     stats.affected_vertices.update(affected)
 
     # ---------------------------------------------------------- step 2
-    weights_col = graph.weight_column(objective)
     with tracer.span("sosp_update.step2", kernel="python") as sp2:
-        while affected:
-            if tracker is not None:
-                tracker.next_superstep()
-            frontier = gather_unique_neighbors(graph, affected)
-            stats.frontier_sizes.append(len(frontier))
-            stats.iterations += 1
-
-            def relax(task_item):
-                task_id, v = task_item
-                best = dist[v]
-                best_u = -1
-                scanned = 0
-                for u, eid in graph.in_edges(v):
-                    scanned += 1
-                    if marked[u] != 1:
-                        continue
-                    nd = dist[u] + weights_col[eid]
-                    if nd < best:
-                        best = nd
-                        best_u = u
-                if best_u >= 0:
-                    if tracker is not None:
-                        tracker.record_write(v, task_id)
-                    dist[v] = best
-                    parent[v] = best_u
-                    marked[v] = 1
-                    return v, scanned
-                return -1, scanned
-
-            results = eng.parallel_for(
-                list(enumerate(frontier)),
-                relax,
-                work_fn=lambda item, r: max(1, r[1]),
-            )
-            stats.relaxations += sum(r[1] for r in results)
-            affected = [v for v, _ in results if v >= 0]
-            stats.affected_total += len(affected)
-            stats.affected_vertices.update(affected)
+        propagate_reference(
+            graph, objective, dist, parent, marked, affected,
+            eng, stats, tracker,
+        )
     stats.step_seconds["step2"] = sp2.elapsed
     _publish_stats(stats, batch_size)
     return stats
+
+
+def propagate_reference(
+    graph: DiGraph,
+    objective: int,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    marked: np.ndarray,
+    affected: List[int],
+    eng: Engine,
+    stats: "UpdateStats",
+    tracker: Optional[OwnershipTracker],
+) -> None:
+    """Step 2 on the pointer-chasing reference path.
+
+    The python twin of :func:`~repro.core.kernels.propagate_csr`:
+    while the affected set is non-empty, each unique out-neighbour
+    pulls its *marked* predecessors and relaxes.  Shared by
+    :func:`sosp_update` and the fully dynamic pipeline
+    (:func:`~repro.core.fully_dynamic.apply_mixed_batch`); ``stats`` is
+    duck-typed exactly as ``propagate_csr`` requires.
+    """
+    weights_col = graph.weight_column(objective)
+    while affected:
+        if tracker is not None:
+            tracker.next_superstep()
+        frontier = gather_unique_neighbors(graph, affected)
+        stats.frontier_sizes.append(len(frontier))
+        stats.iterations += 1
+
+        def relax(task_item):
+            task_id, v = task_item
+            best = dist[v]
+            best_u = -1
+            scanned = 0
+            for u, eid in graph.in_edges(v):
+                scanned += 1
+                if marked[u] != 1:
+                    continue
+                nd = dist[u] + weights_col[eid]
+                if nd < best:
+                    best = nd
+                    best_u = u
+            if best_u >= 0:
+                if tracker is not None:
+                    tracker.record_write(v, task_id)
+                dist[v] = best
+                parent[v] = best_u
+                marked[v] = 1
+                return v, scanned
+            return -1, scanned
+
+        results = eng.parallel_for(
+            list(enumerate(frontier)),
+            relax,
+            work_fn=lambda item, r: max(1, r[1]),
+        )
+        stats.relaxations += sum(r[1] for r in results)
+        affected = [v for v, _ in results if v >= 0]
+        stats.affected_total += len(affected)
+        stats.affected_vertices.update(affected)
 
 
 def _publish_stats(stats: UpdateStats, batch_size: int) -> None:

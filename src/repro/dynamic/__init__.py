@@ -4,9 +4,10 @@ The paper's experimental setup "randomly generates batches of changed
 edges" (§4) over static base networks.  This package provides:
 
 - :class:`~repro.dynamic.changes.ChangeBatch` — a batch of edge
-  insertions/deletions, the ``ΔE`` object of the paper (each record
-  stores endpoints, a weight vector, and an insert/delete flag,
-  mirroring the paper's changed-edge structure).
+  insertions, deletions, and weight changes, the ``ΔE`` object of the
+  paper (each record stores endpoints, a weight vector, and a kind
+  code, mirroring the paper's changed-edge structure extended with the
+  fully dynamic weight-change record).
 - :mod:`~repro.dynamic.batch_gen` — seeded random batch generators.
 - :class:`~repro.dynamic.stream.ChangeStream` — a multi-timestep
   sequence of batches (the evolving network ``G_t → G_{t+1} → …``).
@@ -19,15 +20,25 @@ from repro.dynamic.batch_gen import (
     random_delete_batch,
     random_insert_batch,
     random_mixed_batch,
+    random_weight_change_batch,
 )
-from repro.dynamic.changes import ChangeBatch
+from repro.dynamic.changes import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_WEIGHT,
+    ChangeBatch,
+)
 from repro.dynamic.stream import ChangeStream
 
 __all__ = [
     "ChangeBatch",
     "ChangeStream",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "KIND_WEIGHT",
     "random_insert_batch",
     "local_insert_batch",
     "random_delete_batch",
+    "random_weight_change_batch",
     "random_mixed_batch",
 ]

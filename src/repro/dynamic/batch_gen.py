@@ -19,6 +19,7 @@ __all__ = [
     "random_insert_batch",
     "local_insert_batch",
     "random_delete_batch",
+    "random_weight_change_batch",
     "random_mixed_batch",
 ]
 
@@ -133,6 +134,37 @@ def random_delete_batch(g: DiGraph, size: int, seed=0) -> ChangeBatch:
                                  k=g.num_objectives)
 
 
+def random_weight_change_batch(
+    g: DiGraph,
+    size: int,
+    seed=0,
+    low: float = 1.0,
+    high: float = 10.0,
+) -> ChangeBatch:
+    """``size`` weight-change records over the graph's live edges.
+
+    Endpoints are sampled without replacement from the live edge set
+    (capped like :func:`random_delete_batch`); new weight vectors come
+    from the same uniform distribution as insertion weights, so raises
+    and drops are equally likely on typical base graphs.
+    """
+    if size < 0:
+        raise BatchError("batch size must be >= 0")
+    edges = [(u, v) for u, v, _ in g.edges()]
+    if size > len(edges):
+        raise BatchError(
+            f"cannot re-weight {size} edges in a graph with {len(edges)}"
+        )
+    rng = _rng(seed)
+    idx = rng.choice(len(edges), size=size, replace=False) if size else []
+    weights = rng.uniform(low, high,
+                          size=(size, g.num_objectives)).astype(DIST_DTYPE)
+    return ChangeBatch.weight_changes(
+        (edges[i][0], edges[i][1], weights[j])
+        for j, i in enumerate(idx)
+    )
+
+
 def random_mixed_batch(
     g: DiGraph,
     size: int,
@@ -140,25 +172,37 @@ def random_mixed_batch(
     seed=0,
     low: float = 1.0,
     high: float = 10.0,
+    weight_change_fraction: float = 0.0,
 ) -> ChangeBatch:
-    """A shuffled mix of insertions and deletions.
+    """A shuffled mix of insertions, deletions, and weight changes.
 
-    ``insert_fraction`` of the records are insertions; the rest delete
-    existing edges (capped at the live edge count).  Used by the
-    fully-dynamic extension benchmarks.
+    ``insert_fraction`` of the records are insertions and
+    ``weight_change_fraction`` re-weight existing edges; the rest
+    delete existing edges.  Deletions and weight changes are both
+    capped at the live edge count (each sampled independently, so one
+    batch can delete an edge it also re-weights — the fully dynamic
+    pipeline resolves such interleavings by record order).  Used by the
+    fully-dynamic extension benchmarks and the differential test
+    matrix.
     """
     if not 0.0 <= insert_fraction <= 1.0:
         raise BatchError("insert_fraction must be in [0, 1]")
+    if not 0.0 <= weight_change_fraction <= 1.0 - insert_fraction:
+        raise BatchError(
+            "weight_change_fraction must be in [0, 1 - insert_fraction]"
+        )
     rng = _rng(seed)
     n_ins = int(round(size * insert_fraction))
-    n_del = min(size - n_ins, g.num_edges)
+    n_wc = min(int(round(size * weight_change_fraction)), g.num_edges)
+    n_del = min(size - n_ins - n_wc, g.num_edges)
     ins = random_insert_batch(g, n_ins, seed=rng, low=low, high=high)
+    wc = random_weight_change_batch(g, n_wc, seed=rng, low=low, high=high)
     dele = random_delete_batch(g, n_del, seed=rng)
-    combined = ChangeBatch.concat(ins, dele)
+    combined = ChangeBatch.concat(ins, wc, dele)
     order = rng.permutation(combined.num_changes)
     return ChangeBatch(
         combined.src[order],
         combined.dst[order],
         combined.weights[order],
-        combined.insert_mask[order],
+        combined.kind[order],
     )

@@ -37,6 +37,11 @@ class ChangeStream:
     insert_fraction:
         1.0 = incremental-only (the paper's main setting); < 1.0 mixes
         deletions in (the future-work extension).
+    weight_change_fraction:
+        Fraction of each batch that re-weights live edges (0.0 by
+        default; requires ``insert_fraction + weight_change_fraction
+        <= 1``).  Together with ``insert_fraction < 1`` this drives
+        the fully dynamic mixed pipeline.
     seed:
         RNG seed; the stream is fully deterministic.
 
@@ -58,6 +63,7 @@ class ChangeStream:
         seed=0,
         low: float = 1.0,
         high: float = 10.0,
+        weight_change_fraction: float = 0.0,
     ) -> None:
         if steps < 0:
             raise BatchError("steps must be >= 0")
@@ -67,6 +73,7 @@ class ChangeStream:
         self.batch_size = batch_size
         self.steps = steps
         self.insert_fraction = insert_fraction
+        self.weight_change_fraction = weight_change_fraction
         self.low = low
         self.high = high
         self._rng = (
@@ -75,7 +82,10 @@ class ChangeStream:
         )
 
     def _make_batch(self) -> ChangeBatch:
-        if self.insert_fraction >= 1.0:
+        if (
+            self.insert_fraction >= 1.0
+            and self.weight_change_fraction <= 0.0
+        ):
             return random_insert_batch(
                 self.graph, self.batch_size, seed=self._rng,
                 low=self.low, high=self.high,
@@ -84,6 +94,7 @@ class ChangeStream:
             self.graph, self.batch_size,
             insert_fraction=self.insert_fraction, seed=self._rng,
             low=self.low, high=self.high,
+            weight_change_fraction=self.weight_change_fraction,
         )
 
     def batches(self) -> Iterator[ChangeBatch]:

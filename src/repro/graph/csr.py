@@ -24,6 +24,25 @@ O(|batch|).  The per-vertex query methods merge the tail transparently;
 whole-array consumers (``indptr``/``indices``/``src``/...) see only the
 frozen base and must call :meth:`compact` first — or go through
 :meth:`ensure`, which static solvers use at their entry points.
+
+Deletion and weight mutation (the fully dynamic story)
+------------------------------------------------------
+:meth:`delete_edges` and :meth:`update_edge_weights` extend the
+incremental contract to the other two record kinds without an O(|E|)
+re-freeze: a deleted edge is *tombstoned* in place — its weight row
+(base or tail) becomes ``+inf``, which no shortest-path relaxation can
+ever improve through — and a weight change overwrites its target row
+directly.  Both target the live matching edge with the
+lexicographically smallest weight vector, exactly mirroring
+:meth:`DiGraph.remove_edge` semantics so an incrementally maintained
+snapshot stays edge-multiset-equal to its digraph.  Mutating a base
+row bumps :attr:`base_stamp` (tail rows bump :attr:`tail_stamp`), so
+shared-memory engines re-plant exactly the arrays that changed.
+Tombstones are physically dropped at the next :meth:`compact`;
+until then ``num_edges`` discounts them, structural queries
+(``out_neighbors``/``in_neighbors``/degrees) may still report the dead
+endpoints, and weight queries return their ``inf`` rows — harmless to
+the relaxation kernels, which only ever take minima.
 """
 
 from __future__ import annotations
@@ -98,6 +117,7 @@ class CSRGraph:
         "uid",
         "base_version",
         "tail_version",
+        "num_dead",
     )
 
     def __init__(
@@ -120,6 +140,10 @@ class CSRGraph:
         self.uid = next(self._UID_SOURCE)
         self.base_version = 0
         self.tail_version = 0
+        #: Tombstoned (deleted-in-place) rows across base + tail; see
+        #: :meth:`delete_edges`.  Discounted from :attr:`num_edges` and
+        #: physically dropped by :meth:`compact`.
+        self.num_dead = 0
         self._freeze(src, dst, weights)
         self.tail_src = np.empty(0, dtype=VERTEX_DTYPE)
         self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
@@ -212,13 +236,15 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        """Total edge count: frozen base plus appended tail."""
-        return self.m + self.num_tail_edges
+        """Live edge count: frozen base plus appended tail, minus
+        tombstoned rows."""
+        return self.m + self.num_tail_edges - self.num_dead
 
     @property
     def is_compact(self) -> bool:
-        """Whether all edges live in the sorted base (empty tail)."""
-        return self.num_tail_edges == 0
+        """Whether all edges live in the sorted base (empty tail, no
+        tombstones)."""
+        return self.num_tail_edges == 0 and self.num_dead == 0
 
     @property
     def base_stamp(self) -> Tuple[int, int]:
@@ -274,27 +300,164 @@ class CSRGraph:
     def append_batch(self, batch: "ChangeBatch") -> None:
         """Append the insertion records of a
         :class:`~repro.dynamic.changes.ChangeBatch` (duck-typed to
-        avoid an import cycle).  Deletion records are rejected —
-        snapshots are incremental-insert only."""
-        if getattr(batch, "num_deletions", 0):
+        avoid an import cycle).  Deletion and weight-change records are
+        rejected — use :meth:`apply_batch` for mixed batches."""
+        if getattr(batch, "num_deletions", 0) or getattr(
+            batch, "num_weight_changes", 0
+        ):
             raise GraphError(
-                "CSR snapshots support insertion batches only; rebuild "
-                "with from_digraph() after deletions"
+                "append_batch takes insertion batches only; use "
+                "apply_batch() for mixed insert/delete/weight-change "
+                "batches"
             )
         src, dst, w = batch.insert_records()
         self.append_edges(src, dst, w)
 
+    def apply_batch(self, batch: "ChangeBatch") -> None:
+        """Apply a mixed :class:`~repro.dynamic.changes.ChangeBatch` in
+        record order, the CSR twin of
+        :meth:`~repro.dynamic.changes.ChangeBatch.apply_to`.
+
+        Insertions append to the COO tail, deletions tombstone their
+        target row, weight changes overwrite theirs; runs of
+        consecutive insertions are appended in one O(|run|) call.
+        After ``batch.apply_to(graph)`` + ``snapshot.apply_batch(batch)``
+        the snapshot's live edge multiset equals the digraph's.
+        """
+        kind = np.asarray(batch.kind)
+        b = int(kind.shape[0])
+        i = 0
+        while i < b:
+            j = i + 1
+            while j < b and kind[j] == kind[i]:
+                j += 1
+            code = int(kind[i])
+            if code == 1:  # KIND_INSERT (duck-typed, no import cycle)
+                self.append_edges(
+                    batch.src[i:j], batch.dst[i:j], batch.weights[i:j]
+                )
+            elif code == 0:  # KIND_DELETE
+                self.delete_edges(batch.src[i:j], batch.dst[i:j])
+            else:  # KIND_WEIGHT
+                self.update_edge_weights(
+                    batch.src[i:j], batch.dst[i:j], batch.weights[i:j]
+                )
+            i = j
+
+    def _find_live_min(self, u: int, v: int) -> Tuple[int, int]:
+        """Locate the live ``(u, v)`` edge with the lexicographically
+        smallest weight vector (the :meth:`DiGraph.remove_edge` target).
+
+        Returns ``(where, row)`` with ``where`` 0 = base / 1 = tail, or
+        ``(-1, -1)`` when no live edge matches.  Base rows precede tail
+        rows in the scan, matching insertion order, so ties resolve to
+        the same multiset outcome as the digraph.
+        """
+        best_where, best_row = -1, -1
+        best_w: Tuple[float, ...] = ()
+        for row in range(int(self.indptr[u]), int(self.indptr[u + 1])):
+            if int(self.indices[row]) != v:
+                continue
+            w = tuple(self.weights[row])
+            if not np.isfinite(w[0]):
+                continue  # tombstone
+            if best_where < 0 or w < best_w:
+                best_where, best_row, best_w = 0, row, w
+        if self.num_tail_edges:
+            for row in np.flatnonzero(
+                (self.tail_src == u) & (self.tail_dst == v)
+            ):
+                w = tuple(self.tail_weights[int(row)])
+                if not np.isfinite(w[0]):
+                    continue
+                if best_where < 0 or w < best_w:
+                    best_where, best_row, best_w = 1, int(row), w
+        return best_where, best_row
+
+    def delete_edges(self, src: IntArray, dst: IntArray) -> int:
+        """Tombstone one live edge per ``(u, v)`` record, in order.
+
+        The target row's weight vector becomes ``+inf`` — semantically
+        deleted for every relaxation kernel (``dist + inf`` never
+        improves anything) without disturbing the CSR layout.  Records
+        with no live match are skipped (the idempotent semantics of
+        :meth:`ChangeBatch.apply_to`).  Returns the number tombstoned.
+        """
+        src = np.ascontiguousarray(src, dtype=VERTEX_DTYPE)
+        dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+        removed = 0
+        base_touched = tail_touched = False
+        for u, v in zip(src.tolist(), dst.tolist()):
+            where, row = self._find_live_min(int(u), int(v))
+            if where < 0:
+                continue
+            if where == 0:
+                self.weights[row, :] = np.inf
+                base_touched = True
+            else:
+                self.tail_weights[row, :] = np.inf
+                tail_touched = True
+            self.num_dead += 1
+            removed += 1
+        if base_touched:
+            self.base_version += 1
+        if tail_touched:
+            self.tail_version += 1
+        return removed
+
+    def update_edge_weights(
+        self, src: IntArray, dst: IntArray, weights: FloatArray
+    ) -> int:
+        """Overwrite the weight vector of one live edge per record.
+
+        Each ``(u, v, w)`` record re-resolves its target (the live
+        lex-min parallel edge) *after* the previous record applied, so
+        consecutive changes to one pair behave exactly like repeated
+        :meth:`DiGraph.set_weight` calls through
+        :meth:`ChangeBatch.apply_to`.  Records with no live match are
+        skipped.  Returns the number of rows rewritten.
+        """
+        src, dst, weights = self._coerce_edges(src, dst, weights)
+        if weights.shape[1] != self.k:
+            raise GraphError(
+                f"weight updates have k={weights.shape[1]}, snapshot "
+                f"has k={self.k}"
+            )
+        changed = 0
+        base_touched = tail_touched = False
+        for i in range(len(src)):
+            where, row = self._find_live_min(int(src[i]), int(dst[i]))
+            if where < 0:
+                continue
+            if where == 0:
+                self.weights[row] = weights[i]
+                base_touched = True
+            else:
+                self.tail_weights[row] = weights[i]
+                tail_touched = True
+            changed += 1
+        if base_touched:
+            self.base_version += 1
+        if tail_touched:
+            self.tail_version += 1
+        return changed
+
     def compact(self) -> None:
-        """Merge the tail into the sorted base (no-op when compact)."""
+        """Merge the tail into the sorted base, dropping tombstoned
+        rows (no-op when already compact)."""
         if self.is_compact:
             return
         src = np.concatenate((self.src, self.tail_src))
         dst = np.concatenate((self.indices, self.tail_dst))
         w = np.concatenate((self.weights, self.tail_weights))
+        if self.num_dead:
+            alive = np.isfinite(w).all(axis=1)
+            src, dst, w = src[alive], dst[alive], w[alive]
         # un-sort is unnecessary: _freeze stable-sorts by src, and the
         # base is already src-sorted, so base rows keep their relative
         # order and tail rows land after them within each bucket.
         self._freeze(src, dst, w)
+        self.num_dead = 0
         self.tail_src = np.empty(0, dtype=VERTEX_DTYPE)
         self.tail_dst = np.empty(0, dtype=VERTEX_DTYPE)
         self.tail_weights = np.empty((0, self.k), dtype=DIST_DTYPE)
@@ -365,16 +528,18 @@ class CSRGraph:
         return deg
 
     def edges(self) -> Iterator[Tuple[int, int, FloatArray]]:
-        """Yield ``(u, v, weight_vector)`` over all edges (base, then
-        appended tail)."""
+        """Yield ``(u, v, weight_vector)`` over all **live** edges
+        (base, then appended tail); tombstoned rows are skipped."""
         for i in range(self.m):
-            yield int(self.src[i]), int(self.indices[i]), self.weights[i]
+            if np.isfinite(self.weights[i, 0]):
+                yield int(self.src[i]), int(self.indices[i]), self.weights[i]
         for j in range(self.num_tail_edges):
-            yield (
-                int(self.tail_src[j]),
-                int(self.tail_dst[j]),
-                self.tail_weights[j],
-            )
+            if np.isfinite(self.tail_weights[j, 0]):
+                yield (
+                    int(self.tail_src[j]),
+                    int(self.tail_dst[j]),
+                    self.tail_weights[j],
+                )
 
     def average_degree(self) -> float:
         """Mean out-degree ``num_edges / n``."""
@@ -389,4 +554,5 @@ class CSRGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tail = f", tail={self.num_tail_edges}" if self.num_tail_edges else ""
-        return f"CSRGraph(n={self.n}, m={self.m}, k={self.k}{tail})"
+        dead = f", dead={self.num_dead}" if self.num_dead else ""
+        return f"CSRGraph(n={self.n}, m={self.m}, k={self.k}{tail}{dead})"

@@ -197,6 +197,11 @@ class DynamicParetoFront:
             raise AlgorithmError(
                 f"unknown mode {mode!r}; expected setting | correcting"
             )
+        if batch.num_weight_changes:
+            raise AlgorithmError(
+                "DynamicParetoFront does not support weight-change "
+                "records yet; replay them as a deletion + insertion pair"
+            )
         stats = FrontUpdateStats()
         g = self.graph
         k = g.num_objectives

@@ -79,6 +79,32 @@ def crash_after_write_slab(
     return improved
 
 
+def crash_then_propagate_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> Tuple[np.ndarray, int]:
+    """Step-2 kernel stand-in that dies in pool workers, mid-write.
+
+    Poisons the planted ``sosp.dist`` view and kills the process when
+    running inside a spawn worker (``multiprocessing.parent_process()``
+    is set there and ``None`` in the test runner), so the shared-memory
+    engine's crash recovery must both roll the write set back and
+    re-run the superstep.  The recovery re-run resolves this same ref
+    inline on the master, where it delegates to the real
+    :func:`repro.core.kernels._propagate_relax_slab` — the
+    mixed-pipeline crash test monkeypatches
+    ``repro.core.kernels._PROPAGATE_SLAB_REF`` to point here.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        arrays["sosp.dist"][lo:hi] = -1.0
+        os._exit(3)
+    from repro.core.kernels import _propagate_relax_slab
+
+    return _propagate_relax_slab(arrays, params, lo, hi)
+
+
 def _raise_on_load() -> None:
     raise RuntimeError("this callable refuses to unpickle")
 

@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.dynamic import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_WEIGHT,
     ChangeBatch,
     ChangeStream,
     local_insert_batch,
     random_delete_batch,
     random_insert_batch,
     random_mixed_batch,
+    random_weight_change_batch,
 )
 from repro.dynamic.workloads import (
     drone_delivery_scenario,
@@ -104,6 +108,89 @@ class TestChangeBatch:
         with pytest.raises(BatchError):
             ChangeBatch.insertions([(0, 1, 1.0)]).apply_to(g)
 
+    # -- mixed-kind record semantics (fully dynamic pipeline) ----------
+    def test_weight_changes_constructor(self):
+        b = ChangeBatch.weight_changes([(0, 1, 2.0), (1, 2, (3.0,))])
+        assert b.num_weight_changes == 2
+        assert b.num_insertions == 0 and b.num_deletions == 0
+        assert b.kind.tolist() == [KIND_WEIGHT, KIND_WEIGHT]
+
+    def test_apply_weight_change_overwrites_live_edge(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 5.0)
+        ChangeBatch.weight_changes([(0, 1, 2.0)]).apply_to(g)
+        assert g.num_edges == 1
+        assert g.min_weight_between(0, 1, 0) == 2.0
+
+    def test_apply_weight_change_missing_edge_is_noop(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        ChangeBatch.weight_changes([(1, 2, 9.0)]).apply_to(g)
+        assert g.num_edges == 1
+        assert not g.has_edge(1, 2)
+
+    def test_apply_weight_change_targets_lex_min_parallel_edge(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 4.0)
+        ChangeBatch.weight_changes([(0, 1, 9.0)]).apply_to(g)
+        # the w=1 twin is rewritten; the w=4 twin survives untouched
+        assert g.min_weight_between(0, 1, 0) == 4.0
+
+    def test_apply_duplicate_deletions_remove_distinct_edges(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.0)
+        b = ChangeBatch.deletions([(0, 1), (0, 1), (0, 1)])
+        b.apply_to(g)  # third record finds nothing: idempotent skip
+        assert g.num_edges == 0
+
+    def test_apply_delete_removes_same_batch_insert(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        b = ChangeBatch(
+            np.array([1, 1], dtype=np.int64),
+            np.array([2, 2], dtype=np.int64),
+            np.array([[7.0], [0.0]]),
+            np.array([KIND_INSERT, KIND_DELETE], dtype=np.int8),
+        )
+        b.apply_to(g)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_apply_consecutive_weight_changes_last_wins(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 5.0)
+        ChangeBatch.weight_changes([(0, 1, 9.0), (0, 1, 2.0)]).apply_to(g)
+        assert g.num_edges == 1
+        assert g.min_weight_between(0, 1, 0) == 2.0
+
+    def test_concat_reconciles_deletion_arity(self):
+        # deletion-only batches are k-agnostic: their zero weights pad
+        # to the weighted batches' arity instead of raising
+        c = ChangeBatch.concat(
+            ChangeBatch.insertions([(0, 1, (1.0, 2.0))]),
+            ChangeBatch.deletions([(2, 3)]),  # built with default k=1
+        )
+        assert c.num_objectives == 2
+        assert c.num_insertions == 1 and c.num_deletions == 1
+
+    def test_concat_weighted_arity_conflict_still_rejected(self):
+        a = ChangeBatch.weight_changes([(0, 1, 1.0)])
+        b = ChangeBatch.insertions([(0, 1, (1.0, 2.0))])
+        with pytest.raises(BatchError):
+            ChangeBatch.concat(a, b)
+
+    def test_only_weight_changes_filter(self):
+        c = ChangeBatch.concat(
+            ChangeBatch.insertions([(0, 1, 1.0)]),
+            ChangeBatch.weight_changes([(1, 2, 3.0)]),
+            ChangeBatch.deletions([(2, 3)]),
+        )
+        w = c.only_weight_changes()
+        assert w.num_changes == 1 and w.num_weight_changes == 1
+        assert c.only_deletions().num_changes == 1
+
 
 class TestGenerators:
     def test_random_insert_size_and_range(self):
@@ -164,6 +251,45 @@ class TestGenerators:
         with pytest.raises(BatchError):
             random_mixed_batch(g, 4, insert_fraction=1.5)
 
+    def test_weight_change_batch_targets_live_edges(self):
+        g = erdos_renyi(15, 40, seed=3)
+        live = {(u, v) for u, v, _ in g.edges()}
+        b = random_weight_change_batch(g, 10, seed=4)
+        assert b.num_weight_changes == 10
+        assert len(b) == 10
+        for u, v in zip(b.src.tolist(), b.dst.tolist()):
+            assert (u, v) in live
+
+    def test_weight_change_batch_too_large_rejected(self):
+        g = erdos_renyi(5, 6, seed=0)
+        with pytest.raises(BatchError):
+            random_weight_change_batch(g, 100)
+
+    def test_mixed_with_weight_changes_counts(self):
+        g = erdos_renyi(30, 200, seed=5)
+        b = random_mixed_batch(g, 40, insert_fraction=0.5, seed=6,
+                               weight_change_fraction=0.25)
+        assert b.num_insertions == 20
+        assert b.num_weight_changes == 10
+        assert b.num_deletions == 10
+
+    def test_mixed_shuffle_preserves_kinds(self):
+        # regression: the shuffle used to rebuild the batch from
+        # insert_mask, silently collapsing weight changes into deletions
+        g = erdos_renyi(30, 200, seed=7)
+        b = random_mixed_batch(g, 30, insert_fraction=0.4, seed=8,
+                               weight_change_fraction=0.3)
+        kinds = sorted(b.kind.tolist())
+        assert kinds.count(KIND_INSERT) == 12
+        assert kinds.count(KIND_WEIGHT) == 9
+        assert kinds.count(KIND_DELETE) == 9
+
+    def test_mixed_weight_change_fraction_overflow_rejected(self):
+        g = erdos_renyi(10, 30, seed=0)
+        with pytest.raises(BatchError):
+            random_mixed_batch(g, 10, insert_fraction=0.8,
+                               weight_change_fraction=0.5)
+
 
 class TestChangeStream:
     def test_batches_do_not_mutate(self):
@@ -190,6 +316,15 @@ class TestChangeStream:
                               insert_fraction=0.5, seed=3)
         for b in stream.batches():
             assert b.num_deletions > 0
+
+    def test_stream_with_weight_changes(self):
+        g = erdos_renyi(20, 100, seed=2)
+        stream = ChangeStream(g, batch_size=10, steps=2,
+                              insert_fraction=0.5,
+                              weight_change_fraction=0.2, seed=3)
+        for b in stream.batches():
+            assert b.num_weight_changes > 0
+            assert b.num_insertions > 0
 
     def test_bad_params(self):
         g = erdos_renyi(5, 10, seed=0)

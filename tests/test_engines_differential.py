@@ -24,8 +24,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import SOSPTree, mosp_update, sosp_update
-from repro.dynamic import ChangeBatch
+from repro.core import SOSPTree, apply_mixed_batch, mosp_update, sosp_update
+from repro.core import kernels
+from repro.dynamic import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_WEIGHT,
+    ChangeBatch,
+)
 from repro.graph import DiGraph
 from repro.graph.csr import CSRGraph
 from repro.parallel import (
@@ -105,6 +111,122 @@ def test_sosp_update_identical_across_backends(data):
         for batch in batches:
             batch.apply_to(g_final)
         tree.certify(g_final)
+
+
+@st.composite
+def graph_and_mixed_batches(draw, max_n=12, max_batches=2):
+    """A random digraph plus mixed insert/delete/re-weight batches,
+    biased so some records hit live (often tree) edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    weight = st.integers(min_value=0, max_value=9).map(float)
+    vertex = st.integers(0, n - 1)
+    edge = st.tuples(vertex, vertex, st.tuples(weight))
+    base = draw(st.lists(edge, min_size=0, max_size=3 * n))
+    g = DiGraph(n, k=1)
+    for u, v, w in base:
+        g.add_edge(u, v, w)
+    pair = st.tuples(vertex, vertex)
+    if base:
+        pair = st.one_of(
+            st.sampled_from([(u, v) for u, v, _ in base]), pair
+        )
+    record = st.tuples(
+        st.sampled_from([KIND_DELETE, KIND_INSERT, KIND_WEIGHT]),
+        pair,
+        weight,
+    )
+    batches = []
+    for _ in range(draw(st.integers(1, max_batches))):
+        records = draw(st.lists(record, min_size=1, max_size=8))
+        batches.append(ChangeBatch(
+            np.array([r[1][0] for r in records], dtype=np.int64),
+            np.array([r[1][1] for r in records], dtype=np.int64),
+            np.array([[r[2]] for r in records], dtype=np.float64),
+            np.array([r[0] for r in records], dtype=np.int8),
+        ))
+    return g, batches
+
+
+def _run_mixed(engine, graph, batches):
+    """Play mixed batches through the CSR kernel path on ``engine``,
+    keeping the snapshot in sync via incremental ``apply_batch``."""
+    g = copy.deepcopy(graph)
+    tree = SOSPTree.build(g, 0)
+    snapshot = CSRGraph.from_digraph(g)
+    for batch in batches:
+        batch.apply_to(g)
+        snapshot.apply_batch(batch)
+        apply_mixed_batch(g, tree, batch, engine=engine,
+                          use_csr_kernels=True, csr=snapshot)
+    return g, tree
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=graph_and_mixed_batches())
+def test_mixed_batches_identical_across_backends(data):
+    graph, batches = data
+    _, reference = _run_mixed(ENGINES[0], graph, batches)
+    for engine in ENGINES[1:]:
+        g_final, tree = _run_mixed(engine, graph, batches)
+        np.testing.assert_array_equal(
+            tree.dist, reference.dist,
+            err_msg=f"mixed-batch dist diverged on backend {engine.name}",
+        )
+        tree.certify(g_final)
+
+
+def test_shm_crash_recovery_matches_oracle(monkeypatch):
+    """Kill a shm worker mid-repair (after it has poisoned its dist
+    slab) and assert the transactional rollback + inline re-run still
+    lands on the serial-oracle fixpoint.
+
+    The crash kernel (``tests._shm_support.crash_then_propagate_slab``)
+    dies only inside spawn pool workers; the recovery re-run resolves
+    the same ref on the master, where it delegates to the real slab
+    kernel.
+    """
+    g = DiGraph(8, k=1)
+    for u, v, w in [
+        (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0),
+        (0, 5, 9.0), (5, 6, 1.0), (6, 7, 1.0), (4, 7, 1.0),
+        (1, 5, 2.0), (2, 6, 2.0), (6, 3, 1.0),
+    ]:
+        g.add_edge(u, v, w)
+    # two insertions whose targets (4 and 6) have *distinct*
+    # out-neighbors, so the first repair wave fans out to >= 2 frontier
+    # vertices: a single-item wave would run inline (one span) and
+    # never reach the worker pool, so nothing would crash
+    batch = ChangeBatch(
+        np.array([1, 0, 0, 2], dtype=np.int64),
+        np.array([2, 4, 6, 6], dtype=np.int64),
+        np.array([[0.0], [3.0], [1.0], [1.5]], dtype=np.float64),
+        np.array([KIND_DELETE, KIND_INSERT, KIND_INSERT, KIND_WEIGHT],
+                 dtype=np.int8),
+    )
+
+    g_ref = copy.deepcopy(g)
+    tree_ref = SOSPTree.build(g_ref, 0)
+    batch.apply_to(g_ref)
+    apply_mixed_batch(g_ref, tree_ref, batch)
+
+    monkeypatch.setattr(
+        kernels, "_PROPAGATE_SLAB_REF",
+        "tests._shm_support:crash_then_propagate_slab",
+    )
+    monkeypatch.setattr(kernels, "MIN_SLAB_ITEMS", 1)
+    engine = SharedMemoryEngine(threads=2, min_dispatch_items=1)
+    try:
+        tree = SOSPTree.build(g, 0)
+        snapshot = CSRGraph.from_digraph(g)
+        batch.apply_to(g)
+        snapshot.apply_batch(batch)
+        with pytest.warns(RuntimeWarning, match="died mid-superstep"):
+            apply_mixed_batch(g, tree, batch, engine=engine,
+                              use_csr_kernels=True, csr=snapshot)
+    finally:
+        engine.close()
+    np.testing.assert_array_equal(tree.dist, tree_ref.dist)
+    tree.certify(g)
 
 
 @settings(max_examples=8, deadline=None)
