@@ -28,7 +28,7 @@ from repro.parallel.api import SlabTask
 from repro.parallel.backends.processes import ProcessEngine
 from repro.parallel.backends.shm import SharedMemoryEngine
 
-__all__ = ["compare_process_backends"]
+__all__ = ["compare_partitioned_vs_shm", "compare_process_backends"]
 
 
 def _slab_relax(dist: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -138,4 +138,124 @@ def compare_process_backends(
         "old_payload_bytes": float(old_payload),
         "new_payload_bytes": float(new_payload),
         "speedup": old_s / new_s if new_s > 0 else float("inf"),
+    }
+
+
+def _timed_update_run(
+    engine: Any,
+    n: int,
+    batches: int,
+    batch_size: int,
+    seed: int,
+) -> Tuple[np.ndarray, float]:
+    """Drive ``batches`` timed insert batches through ``sosp_update``.
+
+    One extra warm-up batch (excluded from the timing) absorbs pool
+    spawn, shared-memory planting, and — for the partitioned engine —
+    the one-off shard-plan build, so the measured region is steady-state
+    per-batch update cost on an incrementally maintained CSR snapshot.
+    """
+    from repro.core import SOSPTree, sosp_update
+    from repro.dynamic import random_insert_batch
+    from repro.graph import road_like
+    from repro.graph.csr import CSRGraph
+
+    g = road_like(n, k=1, seed=seed)
+    tree = SOSPTree.build(g, 0)
+    snapshot = CSRGraph.from_digraph(g)
+    total = 0.0
+    for step in range(batches + 1):  # step 0 is the warm-up
+        batch = random_insert_batch(g, batch_size, seed=seed + 100 + step)
+        batch.apply_to(g)
+        snapshot.append_batch(batch)
+        t0 = time.perf_counter()
+        sosp_update(g, tree, batch, engine=engine,
+                    use_csr_kernels=True, csr=snapshot)
+        if step > 0:
+            total += time.perf_counter() - t0
+    return tree.dist.copy(), total
+
+
+def _best_of(
+    engine: Any,
+    n: int,
+    batches: int,
+    batch_size: int,
+    seed: int,
+    repeats: int,
+) -> Tuple[np.ndarray, float]:
+    """Best-of-``repeats`` total for one engine (minimum is the right
+    statistic on a shared single-core host: every perturbation — cron,
+    page cache, scheduler — only ever adds time)."""
+    best = float("inf")
+    dist = None
+    for _ in range(repeats):
+        d, total = _timed_update_run(engine, n, batches, batch_size, seed)
+        if dist is None:
+            dist = d
+        else:
+            np.testing.assert_array_equal(d, dist)
+        best = min(best, total)
+    assert dist is not None
+    return dist, best
+
+
+def compare_partitioned_vs_shm(
+    n: int = 4000,
+    batches: int = 6,
+    batch_size: int = 64,
+    workers: int = 2,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Partitioned multi-pool vs single-pool shm at equal worker budget.
+
+    Both engines get ``workers`` spawn workers in total: the single
+    shared-memory pool runs ``threads=workers``; the partitioned engine
+    runs ``workers`` shards of one single-worker shm pool each, driven
+    concurrently through the boundary-exchange supersteps.  The
+    workload is the real update pipeline (``sosp_update`` over insert
+    batches on an incremental CSR snapshot), and both fixpoints must be
+    bitwise-identical to the serial reference before any timing is
+    trusted.  Warm-up (pool spawn + plan build) is excluded — see
+    :func:`_timed_update_run` — and each engine reports its best of
+    ``repeats`` passes over the identical batch sequence (pools stay
+    warm across passes; each pass replays from a fresh graph).
+    """
+    from repro.parallel import PartitionedEngine
+
+    dist_serial, serial_s = _best_of(
+        None, n, batches, batch_size, seed, repeats
+    )
+
+    shm = SharedMemoryEngine(threads=workers)
+    try:
+        dist_shm, shm_s = _best_of(
+            shm, n, batches, batch_size, seed, repeats
+        )
+    finally:
+        shm.close()
+
+    part = PartitionedEngine(threads=1, partitions=workers, inner="shm")
+    try:
+        dist_part, part_s = _best_of(
+            part, n, batches, batch_size, seed, repeats
+        )
+    finally:
+        part.close()
+
+    np.testing.assert_array_equal(dist_shm, dist_serial)
+    np.testing.assert_array_equal(dist_part, dist_serial)
+    return {
+        "n": float(n),
+        "batches": float(batches),
+        "batch_size": float(batch_size),
+        "workers": float(workers),
+        "serial_s": serial_s,
+        "shm_s": shm_s,
+        "partitioned_s": part_s,
+        "serial_ms_per_batch": 1e3 * serial_s / batches,
+        "shm_ms_per_batch": 1e3 * shm_s / batches,
+        "partitioned_ms_per_batch": 1e3 * part_s / batches,
+        "speedup_vs_shm": shm_s / part_s if part_s > 0 else float("inf"),
     }

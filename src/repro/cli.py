@@ -54,7 +54,7 @@ from repro.obs import (
     use_metrics,
     use_tracer,
 )
-from repro.parallel import resolve_engine
+from repro.parallel import PartitionedEngine, resolve_engine
 from repro.sssp import recompute_sssp
 
 __all__ = ["main", "build_parser"]
@@ -116,8 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--seed", type=int, default=0)
     u.add_argument("--engine", default="serial",
                    choices=("serial", "threads", "processes", "shm",
-                            "simulated"))
+                            "simulated", "partitioned"))
     u.add_argument("--threads", type=int, default=4)
+    u.add_argument(
+        "--partitions", type=int, default=2,
+        help="shard count for --engine partitioned (one inner "
+        "shared-memory pool of --threads workers per shard)",
+    )
     u.add_argument(
         "--insert-fraction", type=float, default=1.0,
         help="fraction of each batch that inserts edges; the rest "
@@ -157,7 +162,8 @@ def _cmd_info(args, out) -> int:
           "sosp_update_mixed (fully dynamic), IncrementalMOSP", file=out)
     print("baselines: dijkstra, bellman_ford (3 variants), "
           "delta_stepping, martins, weighted_sum", file=out)
-    print("engines: serial, threads, processes, shm, simulated", file=out)
+    print("engines: serial, threads, processes, shm, simulated, "
+          "partitioned", file=out)
     print(f"observability: tracer {get_tracer().describe()}, "
           f"clock {CLOCK_SOURCE}, "
           f"exporters {', '.join(EXPORTERS)}", file=out)
@@ -220,13 +226,21 @@ def _cmd_update_demo(args, out) -> int:
     if g.num_objectives != 1:
         # demo drives Algorithm 1 directly; use the first objective
         pass
-    engine = resolve_engine(args.engine, threads=args.threads)
+    if args.engine == "partitioned":
+        engine = resolve_engine(PartitionedEngine(
+            threads=args.threads, partitions=args.partitions))
+    else:
+        engine = resolve_engine(args.engine, threads=args.threads)
     tree = SOSPTree.build(g, args.source)
     # slab-dispatch engines (shm) only parallelise the vectorised CSR
     # kernels — route through them with an incrementally maintained
     # snapshot so --engine shm exercises the shared-memory path instead
-    # of silently falling back to per-edge Python
-    use_csr = bool(getattr(engine, "supports_slab_dispatch", False))
+    # of silently falling back to per-edge Python; partitioned engines
+    # shard the same snapshot into per-pool sub-CSRs
+    use_csr = bool(
+        getattr(engine, "supports_slab_dispatch", False)
+        or getattr(engine, "supports_partitioned_update", False)
+    )
     snapshot = CSRGraph.from_digraph(g) if use_csr else None
     print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges "
           f"(engine: {engine.name}"

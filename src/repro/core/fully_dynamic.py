@@ -145,6 +145,14 @@ def apply_mixed_batch(
             f"{graph.num_vertices}; rebuild or grow the tree first"
         )
     eng = resolve_engine(engine)
+    # partitioned engines own the whole update loop (per-shard pools +
+    # boundary exchange); wrappers forward the driver attribute
+    driver = getattr(eng, "partitioned_mixed_update", None)
+    if callable(driver):
+        routed: MixedUpdateStats = driver(
+            graph, tree, batch, csr=csr, check_ownership=check_ownership
+        )
+        return routed
     stats = MixedUpdateStats()
     dist = tree.dist
     parent = tree.parent

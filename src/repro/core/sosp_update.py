@@ -159,6 +159,14 @@ def sosp_update(
             "ungrouped prior-work emulation has no vectorised variant"
         )
     eng = resolve_engine(engine)
+    # partitioned engines own the whole update loop (per-shard pools +
+    # boundary exchange); wrappers forward the driver attribute
+    driver = getattr(eng, "partitioned_sosp_update", None)
+    if callable(driver):
+        routed: UpdateStats = driver(
+            graph, tree, batch, csr=csr, check_ownership=check_ownership
+        )
+        return routed
     stats = UpdateStats()
     dist = tree.dist
     parent = tree.parent

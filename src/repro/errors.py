@@ -14,6 +14,7 @@ __all__ = [
     "EdgeError",
     "WeightError",
     "EngineError",
+    "UnknownEngineError",
     "OwnershipViolation",
     "AlgorithmError",
     "TreeInvariantError",
@@ -67,6 +68,27 @@ class WeightError(GraphError):
 
 class EngineError(ReproError):
     """A parallel engine was misconfigured or misused."""
+
+
+class UnknownEngineError(EngineError):
+    """``resolve_engine`` was asked for a backend name not in its registry.
+
+    Carries the rejected ``name`` and the ``valid`` registry names so
+    callers (the CLI, config loaders) can render a helpful message
+    without parsing the string.
+    """
+
+    def __init__(self, name: str, valid: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown engine {name!r}; expected one of {sorted(valid)}"
+        )
+        self.name = name
+        self.valid = tuple(valid)
+
+    def __reduce__(
+        self,
+    ) -> "tuple[type[UnknownEngineError], tuple[str, tuple[str, ...]]]":
+        return type(self), (self.name, self.valid)
 
 
 class OwnershipViolation(EngineError):

@@ -1,0 +1,155 @@
+"""Per-shard sub-CSR extraction for the partitioned engine.
+
+A *shard* owns a set of vertices (``part[v] == index``) and every live
+edge whose **destination** it owns — destination ownership is what the
+pull-based Step-2 kernels need: relaxing a frontier vertex only reads
+its in-edges, so a shard's local :class:`~repro.graph.csr.CSRGraph`
+contains the complete in-neighbourhood of every owned vertex.
+
+Vertices are renumbered into a compact *local id space*: owned
+vertices first (``0 .. n_owned``, in ascending global order), then the
+*ghosts* — non-owned sources of the shard's edges — after them.  The
+``l2g`` / ``g2l`` maps translate between the spaces; ``g2l`` is ``-1``
+for globals absent from the shard.  Because every edge destination is
+owned, the propagation kernels only ever **write** local ids below
+``n_owned``; ghost slots are written exclusively by the engine's
+boundary-exchange merge.
+
+``boundary`` is the shard's *cut-edge source list*: local ids of owned
+vertices with at least one out-edge into another shard.  Improvements
+to these are the only state other shards can observe, so they are the
+only vertices the exchange phase ever emits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.types import FloatArray, IntArray
+
+__all__ = ["CSRShard", "build_shard", "build_shards", "live_edge_arrays"]
+
+
+class CSRShard:
+    """One partition's local graph: owned range, ghost map, sub-CSR."""
+
+    __slots__ = ("index", "owned", "n_owned", "l2g", "g2l", "csr", "boundary")
+
+    def __init__(
+        self,
+        index: int,
+        owned: IntArray,
+        l2g: IntArray,
+        g2l: IntArray,
+        csr: CSRGraph,
+        boundary: Set[int],
+    ) -> None:
+        self.index = index
+        self.owned = owned
+        self.n_owned = int(owned.shape[0])
+        self.l2g = l2g
+        self.g2l = g2l
+        self.csr = csr
+        self.boundary = boundary
+
+    @property
+    def n_local(self) -> int:
+        """Owned + ghost vertex count (the sub-CSR's ``n``)."""
+        return int(self.l2g.shape[0])
+
+    @property
+    def num_ghosts(self) -> int:
+        return self.n_local - self.n_owned
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRShard(index={self.index}, owned={self.n_owned}, "
+            f"ghosts={self.num_ghosts}, edges={self.csr.num_edges}, "
+            f"boundary={len(self.boundary)})"
+        )
+
+
+def live_edge_arrays(
+    snapshot: CSRGraph,
+) -> Tuple[IntArray, IntArray, FloatArray]:
+    """Every live edge of ``snapshot`` as ``(src, dst, weights)``.
+
+    Base rows come first, tail rows after, tombstones (``inf`` weight
+    rows) filtered — the same per-destination candidate order a
+    compaction would produce, so shard-local kernels see predecessors
+    in the canonical order regardless of when either side compacts.
+    """
+    src = np.concatenate(
+        (np.asarray(snapshot.src), np.asarray(snapshot.tail_src))
+    ).astype(np.int64)
+    dst = np.concatenate(
+        (np.asarray(snapshot.indices), np.asarray(snapshot.tail_dst))
+    ).astype(np.int64)
+    w = np.concatenate((snapshot.weights, snapshot.tail_weights))
+    if snapshot.num_dead:
+        alive = np.isfinite(w[:, 0])
+        src, dst, w = src[alive], dst[alive], w[alive]
+    return src, dst, w
+
+
+def build_shard(
+    index: int,
+    n: int,
+    src: IntArray,
+    dst: IntArray,
+    w: FloatArray,
+    part: IntArray,
+    k: int,
+) -> CSRShard:
+    """Extract shard ``index`` from the global live-edge arrays.
+
+    ``src``/``dst``/``w`` must come from :func:`live_edge_arrays` (or
+    equal filtering) so row order — and hence the kernels' tie-breaking
+    predecessor order — matches the global snapshot.
+    """
+    owned = np.flatnonzero(part == index).astype(np.int64)
+    sel = part[dst] == index if dst.size else np.zeros(0, dtype=bool)
+    es, ed, ew = src[sel], dst[sel], w[sel]
+    ghosts = np.unique(es[part[es] != index]) if es.size else es
+    l2g = np.concatenate((owned, ghosts.astype(np.int64)))
+    g2l = np.full(n, -1, dtype=np.int64)
+    g2l[l2g] = np.arange(l2g.shape[0], dtype=np.int64)
+    if ew.shape[0] == 0:
+        ew = np.empty((0, k), dtype=np.float64)
+    sub = CSRGraph(int(l2g.shape[0]), g2l[es], g2l[ed], ew)
+    # boundary: owned vertices with an out-edge whose destination is
+    # owned elsewhere (their improvements must be emitted)
+    out_cut = (
+        (part[src] == index) & (part[dst] != index)
+        if src.size
+        else np.zeros(0, dtype=bool)
+    )
+    boundary = {int(lid) for lid in g2l[np.unique(src[out_cut])]}
+    return CSRShard(index, owned, l2g, g2l, sub, boundary)
+
+
+def build_shards(
+    snapshot: CSRGraph, part: IntArray, parts: Optional[int] = None
+) -> List[CSRShard]:
+    """Shard ``snapshot`` under the owner assignment ``part``.
+
+    ``parts`` fixes the shard count (required when trailing partitions
+    own no vertices); defaults to ``max(part) + 1``.
+    """
+    part = np.asarray(part, dtype=np.int64)
+    if part.shape[0] != snapshot.n:
+        raise GraphError(
+            f"partition assignment covers {part.shape[0]} vertices, "
+            f"snapshot has {snapshot.n}"
+        )
+    if parts is None:
+        parts = int(part.max()) + 1 if part.size else 1
+    src, dst, w = live_edge_arrays(snapshot)
+    return [
+        build_shard(p, snapshot.n, src, dst, w, part, snapshot.k)
+        for p in range(parts)
+    ]

@@ -21,6 +21,13 @@ abstraction with four interchangeable backends:
                           references and ``(lo, hi)`` slab indices only — the
                           GIL-free backend that actually runs the vectorised
                           CSR kernels multicore (see ``docs/PARALLEL.md``)
+:class:`PartitionedEngine`  multi-pool model of the paper's distributed
+                          deployment: the CSR is sharded into vertex
+                          partitions, one inner engine pool (shm by
+                          default) runs per shard, and dynamic updates
+                          execute as supersteps of local fixpoints +
+                          boundary exchange over the cut edges (see
+                          ``docs/PARALLEL.md``)
 :class:`SimulatedEngine`  a deterministic work-span machine model: the same
                           task graph is executed once, each task is charged
                           its reported work, and tasks are scheduled over
@@ -45,6 +52,7 @@ from repro.parallel.api import (
     slab_spans,
 )
 from repro.parallel.atomics import OwnershipTracker
+from repro.parallel.backends.partitioned import PartitionedEngine
 from repro.parallel.backends.processes import ProcessEngine
 from repro.parallel.backends.shm import SharedMemoryEngine
 from repro.parallel.checked import CheckedEngine
@@ -66,6 +74,7 @@ __all__ = [
     "SerialEngine",
     "ThreadEngine",
     "ProcessEngine",
+    "PartitionedEngine",
     "SharedMemoryEngine",
     "SlabTask",
     "SimulatedEngine",

@@ -37,7 +37,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.errors import EngineError
+from repro.errors import EngineError, UnknownEngineError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -256,7 +256,10 @@ def resolve_engine(
 
     Accepts an existing engine (returned unchanged), ``None`` (serial),
     or a backend name ``"serial" | "threads" | "processes" | "shm" |
-    "simulated"`` which is instantiated with ``threads``.
+    "simulated" | "partitioned"`` which is instantiated with
+    ``threads``; an unknown name raises
+    :class:`~repro.errors.UnknownEngineError` (picklable, carrying the
+    registry names).
 
     ``checked=True`` wraps the resolved backend — any family — in a
     :class:`~repro.parallel.checked.CheckedEngine`, so every kernel run
@@ -279,6 +282,7 @@ def resolve_engine(
     # imports deferred to avoid a cycle with backends importing BaseEngine
     from repro.obs.engine import TracedEngine
     from repro.obs.tracer import get_tracer
+    from repro.parallel.backends.partitioned import PartitionedEngine
     from repro.parallel.backends.processes import ProcessEngine
     from repro.parallel.backends.serial import SerialEngine
     from repro.parallel.backends.shm import SharedMemoryEngine
@@ -311,13 +315,12 @@ def resolve_engine(
             "processes": ProcessEngine,
             "shm": SharedMemoryEngine,
             "simulated": SimulatedEngine,
+            "partitioned": PartitionedEngine,
         }
         try:
             cls = table[engine]
         except KeyError:
-            raise EngineError(
-                f"unknown engine {engine!r}; expected one of {sorted(table)}"
-            ) from None
+            raise UnknownEngineError(engine, tuple(table)) from None
         return _wrap(cls(threads=threads) if cls is not SerialEngine else cls())
     if isinstance(engine, Engine):
         return _wrap(engine)

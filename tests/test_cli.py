@@ -149,6 +149,19 @@ class TestUpdateDemo:
         assert code == 0
         assert "engine: threads" in text
 
+    def test_partitioned_engine_selection(self):
+        # --threads 1 keeps the shard pools inline (no spawn) so the
+        # demo stays fast; the partitioned path still shards the
+        # snapshot and runs the exchange loop
+        code, text = run(
+            ["update-demo", "--steps", "1", "--batch-size", "5",
+             "--engine", "partitioned", "--partitions", "2",
+             "--threads", "1"]
+        )
+        assert code == 0
+        assert "engine: partitioned" in text
+        assert "csr kernels" in text
+
 
 class TestObservabilityFlags:
     def test_update_demo_trace_is_valid_chrome_trace(self, tmp_path):

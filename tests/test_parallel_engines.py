@@ -1,4 +1,4 @@
-"""Unit tests for the parallel engines (all five backends)."""
+"""Unit tests for the parallel engines (all six backends)."""
 
 import numpy as np
 import pytest
@@ -7,6 +7,7 @@ from repro.errors import EngineError, OwnershipViolation
 from repro.parallel import (
     CostModel,
     OwnershipTracker,
+    PartitionedEngine,
     ProcessEngine,
     SerialEngine,
     SharedMemoryEngine,
@@ -26,6 +27,7 @@ ALL_ENGINES = [
     ProcessEngine(threads=2, min_items_per_process=1),
     SharedMemoryEngine(threads=2, min_dispatch_items=1),
     SimulatedEngine(threads=4),
+    PartitionedEngine(threads=1, partitions=2, inner="serial"),
 ]
 
 
