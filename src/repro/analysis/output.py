@@ -1,0 +1,294 @@
+"""Report rendering and the findings baseline.
+
+Four output formats hang off ``python -m repro.analysis --format``:
+
+- ``text``: the classic ``path:line:col: CODE msg`` lines;
+- ``json``: the findings as a machine-readable document;
+- ``sarif``: a SARIF 2.1.0 run, the interchange format code-scanning
+  UIs ingest (CI uploads it as an artifact);
+- ``github``: GitHub Actions workflow commands (``::error file=...``)
+  that annotate the PR diff inline.
+
+The baseline file grandfathers known findings: entries match by
+``(path, code, message)`` fingerprint — deliberately line-number-free,
+so unrelated edits above a finding don't un-baseline it — and anything
+not in the baseline fails the run.  The repo policy is an *empty*
+baseline (fix or ``# repro: noqa`` with justification instead of
+grandfathering); the mechanism exists so adopting a new rule never
+forces a big-bang cleanup commit.
+
+``validate_sarif`` is a structural validator for the SARIF 2.1.0
+shape this module emits (stdlib-only — the real JSON schema would
+need a network fetch and a jsonschema dependency).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.runner import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "render_findings",
+    "render_github",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "save_baseline",
+    "split_baselined",
+    "validate_sarif",
+]
+
+#: Baseline location relative to the repo root (committed; empty by
+#: policy — see the module docstring).
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "repro-analysis"
+_SARIF_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+# -- renderers ----------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    doc = {
+        "tool": _TOOL_NAME,
+        "count": len(findings),
+        "findings": [asdict(f) for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines = []
+    for f in findings:
+        kind = "error" if f.severity == "error" else "warning"
+        # workflow commands terminate the message at a newline; the
+        # properties before '::' use URL-ish escaping for commas
+        message = f"{f.message} [fix: {f.hint}]".replace("\n", " ")
+        lines.append(
+            f"::{kind} file={Path(f.path).as_posix()},line={f.line},"
+            f"col={f.col},title={f.code}::{message}"
+        )
+    return "\n".join(lines)
+
+
+def _sarif_rules(findings: Sequence[Finding]) -> List[Dict[str, Any]]:
+    from repro.analysis.rules import ALL_RULES
+
+    used = {f.code for f in findings}
+    return [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+        }
+        for rule in ALL_RULES
+        if rule.code in used
+    ]
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f"{f.message} [fix: {f.hint}]"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(f.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/INVARIANTS.md"
+                        ),
+                        "rules": _sarif_rules(findings),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+    "github": render_github,
+}
+
+
+def render_findings(findings: Sequence[Finding], fmt: str) -> str:
+    try:
+        renderer = _RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of "
+            f"{sorted(_RENDERERS)}"
+        ) from None
+    return renderer(findings)
+
+
+# -- SARIF structural validation ----------------------------------------
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural problems with a SARIF 2.1.0 document ([] = valid).
+
+    Checks the invariants the 2.1.0 schema imposes on the subset of
+    SARIF this tool emits: top-level version/runs, tool.driver.name,
+    rule metadata ids, result level/message/location shapes, and that
+    every ``ruleId`` is declared by the driver.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("version") != _SARIF_VERSION:
+        problems.append(
+            f"version must be {_SARIF_VERSION!r}, got {doc.get('version')!r}"
+        )
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        tool = run.get("tool")
+        driver = tool.get("driver") if isinstance(tool, dict) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}.tool.driver.name missing")
+            driver = {}
+        declared: Set[str] = set()
+        for j, rule in enumerate(driver.get("rules", []) or []):
+            if not isinstance(rule, dict) or not isinstance(
+                rule.get("id"), str
+            ):
+                problems.append(f"{where}.tool.driver.rules[{j}].id missing")
+            else:
+                declared.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for j, res in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not isinstance(res, dict):
+                problems.append(f"{rwhere} is not an object")
+                continue
+            if res.get("level") not in _SARIF_LEVELS:
+                problems.append(
+                    f"{rwhere}.level {res.get('level')!r} not in "
+                    f"{sorted(_SARIF_LEVELS)}"
+                )
+            message = res.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{rwhere}.message.text missing")
+            rule_id = res.get("ruleId")
+            if not isinstance(rule_id, str):
+                problems.append(f"{rwhere}.ruleId missing")
+            elif declared and rule_id not in declared:
+                problems.append(
+                    f"{rwhere}.ruleId {rule_id!r} not declared by driver"
+                )
+            for k, loc in enumerate(res.get("locations", []) or []):
+                lwhere = f"{rwhere}.locations[{k}]"
+                phys = loc.get("physicalLocation") if isinstance(
+                    loc, dict
+                ) else None
+                if not isinstance(phys, dict):
+                    phys = {}
+                art = phys.get("artifactLocation")
+                if not isinstance(art, dict) or not isinstance(
+                    art.get("uri"), str
+                ):
+                    problems.append(
+                        f"{lwhere}.physicalLocation.artifactLocation.uri "
+                        "missing"
+                    )
+                region = phys.get("region")
+                start = region.get("startLine") if isinstance(
+                    region, dict
+                ) else None
+                if not isinstance(start, int) or start < 1:
+                    problems.append(
+                        f"{lwhere}.physicalLocation.region.startLine must "
+                        "be a positive integer"
+                    )
+    return problems
+
+
+# -- the baseline -------------------------------------------------------
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` ({} if it's absent)."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    entries = doc.get("findings", []) if isinstance(doc, dict) else []
+    out: Set[str] = set()
+    for e in entries:
+        out.add(f"{e['path']}::{e['code']}::{e['message']}")
+    return out
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    entries = sorted(
+        {
+            (Path(f.path).as_posix(), f.code, f.message)
+            for f in findings
+        }
+    )
+    doc = {
+        "version": 1,
+        "tool": _TOOL_NAME,
+        "findings": [
+            {"path": p, "code": c, "message": m} for p, c, m in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, grandfathered) against baseline fingerprints."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if f.fingerprint in baseline else new).append(f)
+    return new, old

@@ -1,4 +1,5 @@
-"""The rule set: R001-R005, each encoding one design invariant.
+"""The syntactic rule set: R001-R005, each encoding one design
+invariant, plus the R000 registry entry.
 
 Every rule carries a stable code, a one-line summary, and a one-line
 fix hint; ``docs/INVARIANTS.md`` maps each to the paper section it
@@ -6,6 +7,9 @@ protects.  Rules are heuristic AST checks, not a type system — they
 aim for zero false negatives on the bug classes that have actually
 bitten shared-memory SSSP codebases, at the cost of requiring an
 explicit ``# repro: noqa(R00x)`` for the rare intentional exception.
+The interprocedural rules (R006-R008) live in
+:mod:`repro.analysis.deep_rules` and join the registry at the bottom
+of this module.
 """
 
 from __future__ import annotations
@@ -13,7 +17,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.runner import FileContext, Finding
+from repro.analysis.runner import (
+    _R000_CODE,
+    _R000_HINT,
+    _R000_SUMMARY,
+    FileContext,
+    Finding,
+)
 
 __all__ = ["Rule", "ALL_RULES"]
 
@@ -43,6 +53,42 @@ class Rule:
             message=message,
             hint=self.hint,
         )
+
+    def warning(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Like :meth:`finding` but advisory (reported, baselined, and
+        counted, yet rendered/uploaded at warning level)."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            hint=self.hint,
+            severity="warning",
+        )
+
+
+# ----------------------------------------------------------------- R000
+class RuleR000(Rule):
+    """Stale-suppression detection.
+
+    Implemented inside the runner (which owns comment and suppression
+    bookkeeping — a rule cannot know what *other* rules' findings a
+    comment suppressed); this class is the registry entry that gives
+    R000 a stable code, summary, and ``--list-rules`` row.
+    """
+
+    code = _R000_CODE
+    summary = _R000_SUMMARY
+    hint = _R000_HINT
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # the runner emits R000 after suppression
 
 
 def _in_repro(ctx: FileContext) -> bool:
@@ -578,10 +624,18 @@ class RuleR005(Rule):
                 )
 
 
+# The interprocedural rules import ``Rule`` from this module, so this
+# import must sit below the class definitions (cycle bottoms out here).
+from repro.analysis.deep_rules import RuleR006, RuleR007, RuleR008  # noqa: E402
+
 ALL_RULES: Tuple[Rule, ...] = (
+    RuleR000(),
     RuleR001(),
     RuleR002(),
     RuleR003(),
     RuleR004(),
     RuleR005(),
+    RuleR006(),
+    RuleR007(),
+    RuleR008(),
 )

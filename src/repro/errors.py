@@ -16,6 +16,7 @@ __all__ = [
     "EngineError",
     "UnknownEngineError",
     "OwnershipViolation",
+    "WriteSetViolation",
     "AlgorithmError",
     "TreeInvariantError",
     "NotReachableError",
@@ -112,6 +113,34 @@ class OwnershipViolation(EngineError):
         self,
     ) -> "tuple[type[OwnershipViolation], tuple[int, int, int]]":
         return type(self), (self.vertex, self.first_task, self.second_task)
+
+
+class WriteSetViolation(EngineError):
+    """A slab dispatch mutated arrays outside its declared write-set.
+
+    ``SlabTask.writes`` is a contract: crash rollback snapshots exactly
+    the declared arrays, so an undeclared mutation survives a rollback
+    and silently corrupts recovery.  :class:`repro.parallel.checked.
+    CheckedEngine` raises this when either the static analyzer's
+    inferred write-set for ``task.ref`` exceeds the declaration, or a
+    before/after content digest shows an undeclared planted array
+    changed during the dispatch.
+    """
+
+    def __init__(self, ref: str, arrays: "tuple[str, ...]", how: str) -> None:
+        super().__init__(
+            f"slab kernel {ref!r} mutated undeclared array(s) "
+            f"{', '.join(sorted(arrays))} ({how}); declare them in "
+            "SlabTask(writes=...) so rollback snapshots cover them"
+        )
+        self.ref = ref
+        self.arrays = tuple(arrays)
+        self.how = how
+
+    def __reduce__(
+        self,
+    ) -> "tuple[type[WriteSetViolation], tuple[str, tuple[str, ...], str]]":
+        return type(self), (self.ref, self.arrays, self.how)
 
 
 class AlgorithmError(ReproError):

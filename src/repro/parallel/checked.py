@@ -17,11 +17,13 @@ every backend family.
 
 from __future__ import annotations
 
+import hashlib
 import threading
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from repro.errors import WriteSetViolation
 from repro.parallel.api import SlabTask
 from repro.parallel.atomics import OwnershipTracker
 
@@ -69,6 +71,8 @@ class CheckedEngine:
             inner = inner.inner  # never stack sanitizers
         self.inner = inner
         self.tracker: OwnershipTracker = _LockedTracker()
+        # every view handed out by plant(), for the write-set cross-check
+        self._planted: Dict[str, "np.ndarray"] = {}
 
     @property
     def name(self) -> str:
@@ -114,11 +118,73 @@ class CheckedEngine:
         master after the barrier (see ``repro/core/kernels.py``) — the
         superstep boundary advanced here keeps those recordings scoped
         exactly like the closure path's.
+
+        When the task declares a write-set (``writes is not None``),
+        this wrapper also cross-checks it two ways — the runtime twin
+        of lint rule R006:
+
+        1. *statically*, against the analyzer's inferred write-set for
+           ``task.ref`` (anything the kernel provably stores into but
+           didn't declare is rejected before dispatch);
+        2. *observationally*, by content-digesting every planted array
+           the task maps but does not declare, before and after the
+           dispatch — catching dynamic writes static inference can't
+           see (e.g. a catalog key computed from ``params``).
         """
         self.tracker.next_superstep()
-        return self.inner.parallel_for_slabs(
+        self._check_static_writes(task)
+        undeclared = self._undeclared_planted(task)
+        before = {n: self._digest(a) for n, a in undeclared.items()}
+        out = self.inner.parallel_for_slabs(
             n_items, task, work_fn=work_fn, min_chunk=min_chunk
         )
+        changed = tuple(
+            n for n, a in undeclared.items() if self._digest(a) != before[n]
+        )
+        if changed:
+            raise WriteSetViolation(
+                task.ref, changed, "observed content change during dispatch"
+            )
+        return out
+
+    # -- write-set cross-check (runtime twin of lint rule R006) --------
+    @staticmethod
+    def _digest(array: "np.ndarray") -> bytes:
+        return hashlib.blake2b(
+            np.ascontiguousarray(array).tobytes(), digest_size=16
+        ).digest()
+
+    def _check_static_writes(self, task: SlabTask) -> None:
+        if task.writes is None:
+            return
+        try:
+            from repro.analysis.dataflow import infer_ref_writes
+        except ImportError:  # pragma: no cover - analysis pkg stripped
+            return
+        inferred = infer_ref_writes(task.ref)
+        if inferred is None:
+            return
+        declared = set(task.writes)
+        undeclared = tuple(
+            k
+            for k in inferred.writes
+            if k not in declared and not k.startswith("<")
+        )
+        if undeclared:
+            raise WriteSetViolation(
+                task.ref, undeclared, "static write-set inference"
+            )
+
+    def _undeclared_planted(self, task: SlabTask) -> Dict[str, "np.ndarray"]:
+        """Planted arrays the task maps but does not declare writable."""
+        if task.writes is None:
+            return {}
+        declared = set(task.writes)
+        return {
+            n: self._planted[n]
+            for n in task.arrays
+            if n not in declared and n in self._planted
+        }
 
     def plant(
         self,
@@ -126,8 +192,17 @@ class CheckedEngine:
         array: "np.ndarray",
         fingerprint: Optional[Tuple[Any, ...]] = None,
     ) -> "np.ndarray":
-        """Forward array planting to a shared-memory backend."""
-        return self.inner.plant(name, array, fingerprint=fingerprint)
+        """Forward array planting to a shared-memory backend.
+
+        The returned view is remembered so ``parallel_for_slabs`` can
+        digest undeclared arrays around each dispatch (write-set
+        cross-check).
+        """
+        view: "np.ndarray" = self.inner.plant(
+            name, array, fingerprint=fingerprint
+        )
+        self._planted[name] = view
+        return view
 
     def close(self) -> None:
         """Release the wrapped backend's pool/segments, if it has any.

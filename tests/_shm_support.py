@@ -134,6 +134,31 @@ def crash_one_shard_propagate_slab(
     return _propagate_relax_slab(arrays, params, lo, hi)
 
 
+def sneaky_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> int:
+    """Writes ``out`` as declared but also mutates ``aux`` — a kernel
+    whose ``writes=("out",)`` declaration lies.  The write is a plain
+    subscript store, so the static analyzer's inferred write-set
+    catches it (CheckedEngine raises before dispatch)."""
+    arrays["out"][lo:hi] += 1
+    arrays["aux"][lo:hi] = 7
+    return hi - lo
+
+
+def dynamic_write_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> int:
+    """Mutates the array named by ``params["victim"]`` — a dynamic
+    catalog key static inference cannot resolve (the inferred write-set
+    comes back incomplete), so only CheckedEngine's before/after
+    content digest can catch the undeclared write."""
+    arrays[params["victim"]][lo:hi] = 9
+    return hi - lo
+
+
 def _raise_on_load() -> None:
     raise RuntimeError("this callable refuses to unpickle")
 

@@ -2,7 +2,10 @@
 so the whole file must lint clean under every rule."""
 
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Mapping, Optional
+
+from repro.parallel.api import SlabTask
+from repro.parallel.backends.processes import ProcessEngine
 
 
 def blanket(engine: Any, items: List[int], hits: List[int]) -> List[int]:
@@ -22,3 +25,27 @@ def targeted(fn: Callable[[], int]) -> Optional[int]:
 
 def multi_code() -> float:
     return time.time()  # repro: noqa(R003, R005)
+
+
+def undeclared_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    arrays["aux"][lo:hi] = 1
+    return hi - lo
+
+
+def dispatch_slab(engine: Any) -> None:
+    engine.parallel_for_slabs(4, SlabTask(  # repro: noqa(R006)
+        ref="noqa_suppressed:undeclared_kernel",
+        arrays=("aux",),
+        writes=(),
+    ))
+
+
+def dispatch_lambda(items: List[int]) -> List[int]:
+    eng = ProcessEngine(threads=2)
+    return eng.parallel_for(items, lambda x: x)  # repro: noqa(R007)
+
+
+def emit(run: Any, cur: Any) -> None:
+    run.dist[:] = cur  # repro: noqa(R008)

@@ -1,0 +1,14 @@
+"""R000 fixture: stale suppressions that no longer hide anything.
+
+Both comments below suppressed real findings once; the violations were
+fixed but the comments stayed behind, so each now matches no finding
+and must be reported as stale.
+"""
+
+
+def fixed_long_ago(x: int) -> int:
+    return x + 1  # repro: noqa(R003)
+
+
+def blanket_left_behind() -> None:
+    pass  # repro: noqa

@@ -1,0 +1,10 @@
+"""R000 fixture: live suppressions — every comment hides a real finding."""
+
+from typing import Callable, Optional
+
+
+def swallow(fn: Callable[[], int]) -> Optional[int]:
+    try:
+        return fn()
+    except:  # repro: noqa(R003)
+        return None

@@ -1,0 +1,66 @@
+"""R006 fixture: write-set drift between slab kernels and declarations.
+
+Three dispatch sites, three distinct drifts: a direct undeclared store,
+an undeclared store one helper-call down, and a declared array the
+kernel never touches (a stale ``writes=`` entry).
+"""
+
+from typing import Any, Mapping
+
+from repro.parallel.api import SlabTask
+
+
+def undeclared_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    arrays["dist"][lo:hi] = 0.0
+    arrays["marked"][lo:hi] = 1  # mutated, but not declared below
+    return hi - lo
+
+
+def _bump_aux(aux: Any, lo: int, hi: int) -> None:
+    aux[lo:hi] += 1  # the helper does the undeclared mutating
+
+
+def helper_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    arrays["dist"][lo:hi] = 0.0
+    _bump_aux(arrays["aux"], lo, hi)
+    return hi - lo
+
+
+def never_writes_marked_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    arrays["dist"][lo:hi] = 0.0
+    return hi - lo
+
+
+def phantom_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    return hi - lo
+
+
+def dispatch(engine: Any) -> None:
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_bad:undeclared_kernel",
+        arrays=("dist", "marked"),
+        writes=("dist",),
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_bad:helper_kernel",
+        arrays=("dist", "aux"),
+        writes=("dist",),
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_bad:never_writes_marked_kernel",
+        arrays=("dist", "marked"),
+        writes=("dist", "marked"),
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_bad:phantom_kernel",
+        arrays=("dist",),
+        writes=("ghost",),
+    ))

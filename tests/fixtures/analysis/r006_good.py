@@ -1,0 +1,53 @@
+"""R006 fixture: declarations that exactly match kernel behaviour."""
+
+from typing import Any, Mapping
+
+from repro.parallel.api import SlabTask
+
+
+def relax_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    arrays["dist"][lo:hi] = 0.0
+    arrays["marked"][lo:hi] = 1
+    return hi - lo
+
+
+def _scale(view: Any, lo: int, hi: int) -> None:
+    view[lo:hi] *= 2
+
+
+def helper_kernel(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> int:
+    _scale(arrays["dist"], lo, hi)  # helper write, duly declared
+    return hi - lo
+
+
+def span_sum(
+    arrays: Mapping[str, Any], params: Mapping[str, Any], lo: int, hi: int,
+) -> float:
+    return float(arrays["w"][lo:hi].sum())
+
+
+def dispatch(engine: Any) -> None:
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_good:relax_kernel",
+        arrays=("dist", "marked", "w"),  # read-only 'w' needs no entry
+        writes=("dist", "marked"),
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_good:helper_kernel",
+        arrays=("dist",),
+        writes=("dist",),
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_good:span_sum",
+        arrays=("w",),
+        writes=(),  # read-only kernel, declared as such
+    ))
+    engine.parallel_for_slabs(8, SlabTask(
+        ref="r006_good:relax_kernel",
+        arrays=("dist", "marked"),
+        writes=None,  # unknown write-set: engine snapshots everything
+    ))

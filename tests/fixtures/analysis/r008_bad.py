@@ -1,0 +1,24 @@
+"""R008 fixture: exchange paths that break boundary monotonicity.
+
+The partitioned engine may publish a ghost distance only when it
+strictly improves the destination shard's current label; anything else
+can resurrect a stale longer path after a deletion. Writes to arrays
+the exchange does not own are plain races.
+"""
+
+from typing import Any
+
+
+def exchange_unguarded(run: Any, tracer: Any, lids: Any, dv: Any) -> None:
+    with tracer.span("fixture.exchange", shard=0):
+        run.dist[lids] = dv  # published with no improvement check
+
+
+def exchange_nonstrict(run: Any, tracer: Any, lids: Any, dv: Any) -> None:
+    with tracer.span("fixture.exchange", shard=1):
+        better = dv <= run.dist[lids]  # ties must NOT republish
+        run.dist[lids[better]] = dv[better]
+
+
+def emit(run: Any, cur: Any) -> None:
+    run.ghost_buf[:] = cur  # exchange path writing non-exchange state

@@ -1,0 +1,23 @@
+"""R008 fixture: the sanctioned exchange shape — strict improvement,
+exchange-owned state only."""
+
+from typing import Any
+
+
+def exchange_guarded(run: Any, tracer: Any, lids: Any, dv: Any) -> None:
+    with tracer.span("fixture.exchange", shard=0):
+        better = dv < run.dist[lids]  # strict: ties stay put
+        tl = lids[better]
+        run.dist[tl] = dv[better]
+        run.marked[tl] = 1
+        run.pending = tl
+
+
+def emit(run: Any, cur: Any) -> None:
+    imp = cur < run.bnd_sent
+    run.bnd_sent[imp] = cur[imp]
+
+
+def gather_results(dist: Any, gl: Any, changed: Any, run: Any) -> None:
+    # not an exchange region: R008 has no opinion about this store
+    dist[gl] = run.dist[changed]

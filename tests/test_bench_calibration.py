@@ -66,7 +66,7 @@ class TestProcessEngine:
 
         eng = ProcessEngine(threads=2, min_items_per_process=1)
         with pytest.warns(RuntimeWarning):
-            out = eng.parallel_for(list(range(10)), closure)
+            out = eng.parallel_for(list(range(10)), closure)  # repro: noqa(R007)
         assert out == list(range(1, 11))
         eng.close()
 

@@ -143,3 +143,102 @@ class TestKernelsUnderCheckedEngines:
         assert eng.tracker.writes > 0
         if hasattr(eng.inner, "close"):
             eng.close()
+
+
+class TestWriteSetCrossCheck:
+    """CheckedEngine's runtime twin of lint rule R006."""
+
+    def _engine(self):
+        from repro.parallel.backends.shm import SharedMemoryEngine
+
+        return CheckedEngine(
+            SharedMemoryEngine(threads=1, min_dispatch_items=1)
+        )
+
+    def test_static_violation_rejected_before_dispatch(self):
+        from repro.errors import WriteSetViolation
+        from repro.parallel.api import SlabTask
+
+        eng = self._engine()
+        try:
+            out = eng.plant("out", np.zeros(8, dtype=np.int64))
+            eng.plant("aux", np.zeros(8, dtype=np.int64))
+            with pytest.raises(WriteSetViolation, match="static"):
+                # intentional drift: the violation under test
+                eng.parallel_for_slabs(8, SlabTask(  # repro: noqa(R006)
+                    ref="tests._shm_support:sneaky_slab",
+                    arrays=("out", "aux"),
+                    writes=("out",),
+                ))
+            # rejected before dispatch: nothing ran, nothing mutated
+            assert not out.any()
+        finally:
+            eng.close()
+
+    def test_dynamic_violation_caught_by_digest(self):
+        # the victim key comes from params, so static inference returns
+        # an incomplete write-set — only the before/after content
+        # digest can see the undeclared mutation
+        from repro.analysis import infer_ref_writes
+        from repro.errors import WriteSetViolation
+        from repro.parallel.api import SlabTask
+
+        ws = infer_ref_writes("tests._shm_support:dynamic_write_slab")
+        assert ws is not None and not ws.complete
+
+        eng = self._engine()
+        try:
+            eng.plant("out", np.zeros(8, dtype=np.int64))
+            eng.plant("aux", np.zeros(8, dtype=np.int64))
+            with pytest.raises(WriteSetViolation, match="observed"):
+                eng.parallel_for_slabs(8, SlabTask(
+                    ref="tests._shm_support:dynamic_write_slab",
+                    arrays=("out", "aux"),
+                    params={"victim": "aux"},
+                    writes=("out",),
+                ))
+        finally:
+            eng.close()
+
+    def test_declared_writes_pass(self):
+        from repro.parallel.api import SlabTask
+
+        eng = self._engine()
+        try:
+            out = eng.plant("out", np.ones(8, dtype=np.int64))
+            res = eng.parallel_for_slabs(8, SlabTask(
+                ref="tests._shm_support:double_slab",
+                arrays=("out",),
+                writes=("out",),
+            ))
+            assert sum(res) == 16.0
+            assert (out == 2).all()
+        finally:
+            eng.close()
+
+    def test_writes_none_skips_cross_check(self):
+        # writes=None means "unknown: snapshot everything" — the
+        # cross-check has no declaration to hold the kernel to
+        from repro.parallel.api import SlabTask
+
+        eng = self._engine()
+        try:
+            eng.plant("out", np.zeros(8, dtype=np.int64))
+            eng.plant("aux", np.zeros(8, dtype=np.int64))
+            eng.parallel_for_slabs(8, SlabTask(
+                ref="tests._shm_support:sneaky_slab",
+                arrays=("out", "aux"),
+                writes=None,
+            ))
+        finally:
+            eng.close()
+
+    def test_violation_pickles(self):
+        import pickle
+
+        from repro.errors import WriteSetViolation
+
+        e = WriteSetViolation("m:fn", ("aux",), "static write-set inference")
+        e2 = pickle.loads(pickle.dumps(e))
+        assert (e2.ref, e2.arrays, e2.how) == (e.ref, e.arrays, e.how)
+        assert "aux" in str(e2)

@@ -290,7 +290,7 @@ class TestWorkAccountingParity:
                 return x
 
             with pytest.warns(RuntimeWarning):
-                e.parallel_for(list(range(5)), closure,
+                e.parallel_for(list(range(5)), closure,  # repro: noqa(R007)
                                work_fn=lambda i, r: 3.0)
             assert e.work_units == 15.0
         finally:
