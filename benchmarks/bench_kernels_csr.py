@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from conftest import write_result
+from repro.bench.ledger import make_ledger, write_ledger
 from repro.bench.report import render_table
 from repro.core import SOSPTree, sosp_update
 from repro.dynamic import random_insert_batch
@@ -39,7 +40,7 @@ def rgg_state(bench_seed):
     return g, tree, batch
 
 
-def test_csr_kernels_vs_reference_step2(rgg_state, results_dir):
+def test_csr_kernels_vs_reference_step2(rgg_state, results_dir, bench_seed):
     g, tree, batch = rgg_state
 
     tree_ref = copy.deepcopy(tree)
@@ -81,6 +82,29 @@ def test_csr_kernels_vs_reference_step2(rgg_state, results_dir):
         rows, ["step", "reference (s)", "csr kernels (s)", "speedup"]
     )
     write_result(results_dir, "kernels_csr.txt", text)
+    write_ledger(results_dir, make_ledger(
+        "kernels_csr",
+        graph={"name": f"rgg-2^{RGG_LOG_N}", "vertices": g.num_vertices,
+               "edges": g.num_edges, "objectives": g.num_objectives},
+        engine="serial",
+        workers=1,
+        wall_seconds={
+            "step1_reference": stats_ref.step_seconds["step1"],
+            "step1_csr": stats_csr.step_seconds["step1"],
+            "step2_reference": stats_ref.step_seconds["step2"],
+            "step2_csr": stats_csr.step_seconds["step2"],
+            "snapshot_freeze": freeze_s,
+        },
+        derived={
+            "step1_speedup": (stats_ref.step_seconds["step1"]
+                              / stats_csr.step_seconds["step1"]),
+            "step2_speedup": (stats_ref.step_seconds["step2"]
+                              / stats_csr.step_seconds["step2"]),
+        },
+        seed=bench_seed,
+        notes=f"insertion batch |B|={BATCH_SIZE}; gate: step2_speedup "
+              f">= {REQUIRED_STEP2_SPEEDUP}",
+    ))
 
     speedup = (
         stats_ref.step_seconds["step2"] / stats_csr.step_seconds["step2"]

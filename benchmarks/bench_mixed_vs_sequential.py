@@ -24,6 +24,7 @@ import numpy as np
 import pytest
 from conftest import write_result
 
+from repro.bench.ledger import make_ledger, write_ledger
 from repro.core import SOSPTree, apply_mixed_batch, sosp_update
 from repro.dynamic import ChangeBatch
 from repro.graph import road_like
@@ -118,6 +119,8 @@ def test_mixed_vs_sequential(results_dir, bench_seed):
     graph = road_like(BENCH_N, k=1, seed=bench_seed)
     rows = []
     win_at_4 = None
+    timings = {}
+    ratios = {}
     for label, make in (
         ("serial", SerialEngine),
         (f"shm ({THREADS} workers)",
@@ -131,6 +134,10 @@ def test_mixed_vs_sequential(results_dir, bench_seed):
             if callable(closer):
                 closer()
         speedup = t_replay / t_mixed if t_mixed else float("inf")
+        key = "serial" if label == "serial" else f"shm{THREADS}"
+        timings[f"mixed_{key}"] = t_mixed
+        timings[f"replay_{key}"] = t_replay
+        ratios[f"replay_over_mixed_{key}"] = speedup
         rows.append({
             "engine": label,
             "mixed single pass (ms)": f"{t_mixed * 1e3:,.2f}",
@@ -162,3 +169,18 @@ def test_mixed_vs_sequential(results_dir, bench_seed):
     )
     write_result(results_dir, "mixed_vs_sequential.txt",
                  header + table + footer)
+    write_ledger(results_dir, make_ledger(
+        "mixed_vs_sequential",
+        graph={"name": f"road_like-{BENCH_N}",
+               "vertices": graph.num_vertices,
+               "edges": graph.num_edges,
+               "objectives": graph.num_objectives},
+        engine="serial+shm",
+        workers=THREADS,
+        wall_seconds=timings,
+        derived=ratios,
+        seed=bench_seed,
+        notes=f"batch={BATCH} ({FRACTIONS[0]:.0%} ins / "
+              f"{FRACTIONS[1]:.0%} del / {FRACTIONS[2]:.0%} re-weight), "
+              f"best of {ROUNDS}; gate: mixed <= replay on every engine",
+    ))

@@ -25,6 +25,7 @@ import pytest
 from conftest import write_result
 
 from repro.bench.engines import compare_partitioned_vs_shm
+from repro.bench.ledger import make_ledger, write_ledger
 from repro.bench.report import render_table
 
 pytestmark = pytest.mark.slow
@@ -67,13 +68,36 @@ def _rows(stats):
     ]
 
 
-def test_partitioned_smoke_not_slower(bench_seed):
+def _ledger(name, stats, n, seed, notes):
+    return make_ledger(
+        name,
+        graph={"name": f"road_like-{n}", "vertices": n, "edges": 0,
+               "objectives": 1},
+        engine="partitioned",
+        workers=int(stats["workers"]),
+        wall_seconds={
+            "serial_per_batch": stats["serial_ms_per_batch"] / 1e3,
+            "shm_per_batch": stats["shm_ms_per_batch"] / 1e3,
+            "partitioned_per_batch": stats["partitioned_ms_per_batch"] / 1e3,
+        },
+        derived={"speedup_vs_shm": stats["speedup_vs_shm"]},
+        seed=seed,
+        notes=notes,
+    )
+
+
+def test_partitioned_smoke_not_slower(bench_seed, results_dir):
     """CI smoke gate: partitioned must stay within noise of shm."""
     stats = compare_partitioned_vs_shm(
         n=SMOKE_N, batches=SMOKE_BATCHES,
         batch_size=SMOKE_BATCH_SIZE, workers=BENCH_WORKERS,
         seed=bench_seed,
     )
+    write_ledger(results_dir, _ledger(
+        "partitioned_vs_shm_smoke", stats, SMOKE_N, bench_seed,
+        f"{SMOKE_BATCHES} insert batches of {SMOKE_BATCH_SIZE}; smoke "
+        f"gate: partitioned <= {SMOKE_TOLERANCE}x shm",
+    ))
     assert stats["partitioned_s"] <= SMOKE_TOLERANCE * stats["shm_s"], (
         f"partitioned {stats['partitioned_s']:.3f}s vs "
         f"shm {stats['shm_s']:.3f}s exceeds the smoke tolerance"
@@ -106,6 +130,11 @@ def test_partitioned_vs_shm(results_dir, bench_seed):
     write_result(
         results_dir, "partitioned_vs_shm.txt", header + table + gate + "\n"
     )
+    write_ledger(results_dir, _ledger(
+        "partitioned_vs_shm", stats, BENCH_N, bench_seed,
+        f"{BENCH_BATCHES} insert batches of {BENCH_BATCH_SIZE}, real "
+        "sosp_update pipeline; gate: partitioned no slower than shm",
+    ))
     assert stats["partitioned_s"] <= stats["shm_s"], (
         f"partitioned {stats['partitioned_s']:.3f}s slower than "
         f"single-pool shm {stats['shm_s']:.3f}s"

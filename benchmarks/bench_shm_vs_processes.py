@@ -20,6 +20,7 @@ import pytest
 from conftest import write_result
 
 from repro.bench.engines import compare_process_backends
+from repro.bench.ledger import make_ledger, write_ledger
 from repro.bench.report import render_table
 
 pytestmark = pytest.mark.slow
@@ -51,12 +52,38 @@ def _rows(stats):
     ]
 
 
-def test_shm_smoke_beats_processes(bench_seed):
+def _ledger(name, stats, n, seed, notes):
+    return make_ledger(
+        name,
+        graph={"name": f"slab-relax-{n}", "vertices": n, "edges": 0,
+               "objectives": 1},
+        engine="shm",
+        workers=BENCH_THREADS,
+        wall_seconds={
+            "processes_per_superstep": stats["old_ms_per_superstep"] / 1e3,
+            "shm_per_superstep": stats["new_ms_per_superstep"] / 1e3,
+        },
+        derived={
+            "speedup": stats["speedup"],
+            "processes_payload_bytes": stats["old_payload_bytes"],
+            "shm_payload_bytes": stats["new_payload_bytes"],
+        },
+        seed=seed,
+        notes=notes,
+    )
+
+
+def test_shm_smoke_beats_processes(bench_seed, results_dir):
     """CI smoke gate: shm must beat ProcessEngine even on a small graph."""
     stats = compare_process_backends(
         n=SMOKE_N, supersteps=SMOKE_SUPERSTEPS,
         threads=BENCH_THREADS, seed=bench_seed,
     )
+    write_ledger(results_dir, _ledger(
+        "shm_vs_processes_smoke", stats, SMOKE_N, bench_seed,
+        f"{SMOKE_SUPERSTEPS} supersteps of float64 slab relaxation; "
+        "smoke gate: speedup > 1",
+    ))
     assert stats["new_payload_bytes"] < 4096, (
         "shm dispatch payload should be index-only"
     )
@@ -83,6 +110,11 @@ def test_shm_vs_processes(results_dir, bench_seed):
         ["backend", "ms/superstep", "payload B/superstep", "speedup"],
     )
     write_result(results_dir, "shm_vs_processes.txt", header + table + "\n")
+    write_ledger(results_dir, _ledger(
+        "shm_vs_processes", stats, BENCH_N, bench_seed,
+        f"{BENCH_SUPERSTEPS} supersteps of float64 slab relaxation; "
+        f"gate: speedup >= {REQUIRED_SPEEDUP}",
+    ))
     assert stats["speedup"] >= REQUIRED_SPEEDUP, (
         f"shm speedup {stats['speedup']:.2f}x below the "
         f"{REQUIRED_SPEEDUP}x acceptance gate"

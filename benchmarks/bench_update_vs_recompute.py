@@ -27,6 +27,7 @@ import pytest
 
 from conftest import write_result
 from repro.bench import render_table
+from repro.bench.ledger import make_ledger, write_ledger
 from repro.bench.datasets import load_dataset
 from repro.core import SOSPTree, sosp_update
 from repro.dynamic import local_insert_batch, random_insert_batch
@@ -40,6 +41,7 @@ BATCH_FRACTIONS = (0.001, 0.01, 0.05)
 
 def run_comparison():
     rows = []
+    ledger = {"graph": {}, "wall_seconds": {}, "derived": {}}
     for regime in ("redundant", "local", "teleport"):
         for frac in BATCH_FRACTIONS:
             g = load_dataset(DATASET, k=1, fresh=True)
@@ -79,11 +81,33 @@ def run_comparison():
                     "dijkstra ms": f"{recompute_ms:.2f}",
                 }
             )
-    return rows
+            key = f"{regime}_{frac:g}"
+            ledger["graph"] = {
+                "name": DATASET, "vertices": g.num_vertices,
+                "edges": g.num_edges, "objectives": g.num_objectives,
+            }
+            ledger["wall_seconds"][f"update_16t_{key}"] = update_ms_16t / 1e3
+            ledger["wall_seconds"][f"dijkstra_{key}"] = recompute_ms / 1e3
+            ledger["derived"][f"work_ratio_{key}"] = (
+                update_units / recompute_units
+            )
+    return rows, ledger
 
 
-def test_update_vs_recompute_report(benchmark, results_dir):
-    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+def test_update_vs_recompute_report(benchmark, results_dir, bench_seed):
+    rows, ledger = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    write_ledger(results_dir, make_ledger(
+        "update_vs_recompute",
+        graph=ledger["graph"],
+        engine="simulated",
+        workers=16,
+        wall_seconds=ledger["wall_seconds"],
+        derived=ledger["derived"],
+        seed=bench_seed,
+        notes="virtual times from the simulated work-span machine "
+              "(update replayed at 16 threads; Dijkstra sequential); "
+              "work ratios are engine-independent work units",
+    ))
     text = render_table(
         rows,
         ["regime", "dE/|E|", "batch", "update work", "dijkstra work",

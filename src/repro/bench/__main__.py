@@ -1,0 +1,71 @@
+"""Benchmark-harness utilities: ``python -m repro.bench <command>``.
+
+``validate-ledgers [dir] [--min-count N]``
+    Check every ``BENCH_*.json`` perf ledger in ``dir`` (default
+    ``results/``) against the :mod:`repro.bench.ledger` schema.  Exits
+    1 when any ledger is invalid, or when fewer than ``--min-count``
+    ledgers exist — CI uses the count floor to catch benchmarks that
+    silently stop emitting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, TextIO
+
+from repro.bench.ledger import read_ledger
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_validate_ledgers(args: argparse.Namespace, out: TextIO) -> int:
+    root = Path(args.dir)
+    paths = sorted(root.glob("BENCH_*.json")) if root.is_dir() else []
+    failures = 0
+    for path in paths:
+        try:
+            doc = read_ledger(path)
+        except ReproError as exc:
+            print(f"INVALID {exc}", file=out)
+            failures += 1
+            continue
+        timings = ", ".join(
+            f"{k}={v:.4g}s" for k, v in sorted(doc["wall_seconds"].items())
+        )
+        print(f"ok {path.name}: engine {doc['engine']}, "
+              f"workers {doc['workers']}, {timings}", file=out)
+    print(f"{len(paths) - failures}/{len(paths)} ledgers valid in {root}",
+          file=out)
+    if failures:
+        return 1
+    if len(paths) < args.min_count:
+        print(
+            f"expected at least {args.min_count} ledgers, found {len(paths)}",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out: Optional[TextIO] = None) -> int:
+    out = out if out is not None else sys.stdout
+    p = argparse.ArgumentParser(prog="repro.bench")
+    sub = p.add_subparsers(dest="command", required=True)
+    v = sub.add_parser(
+        "validate-ledgers",
+        help="schema-check every BENCH_*.json perf ledger",
+    )
+    v.add_argument("dir", nargs="?", default="results",
+                   help="directory holding BENCH_*.json (default results/)")
+    v.add_argument("--min-count", type=int, default=0,
+                   help="fail unless at least this many ledgers exist")
+    args = p.parse_args(argv)
+    return _cmd_validate_ledgers(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""Machine-readable perf ledger: ``results/BENCH_<name>.json``.
+
+The rendered ``results/*.txt`` tables are for humans; regression
+tooling needs numbers it can diff without parsing prose.  Each
+benchmark therefore also writes one schema-versioned JSON document —
+the *ledger* — recording what ran (graph, engine, worker count, seed),
+what was measured (named wall-clock timings), and what was derived
+(speedups, ratios).  ``python -m repro.bench validate-ledgers`` checks
+every ledger in a results directory against :func:`validate_ledger`;
+CI runs it so a benchmark that silently stops emitting (or emits a
+malformed document) fails the build rather than the next reader.
+
+Schema ``repro-bench-ledger/1`` — all keys at the top level, no
+extras allowed:
+
+==================  ==================================================
+``schema``          the literal :data:`SCHEMA_VERSION`
+``name``            benchmark name; the file is ``BENCH_<name>.json``
+``created_unix``    wall-clock epoch seconds at write time
+``seed``            the benchmark seed (int)
+``graph``           ``{"name", "vertices", "edges", "objectives"}``
+``engine``          engine description string (e.g. ``"shm"``)
+``workers``         worker/thread count the timings used (int)
+``wall_seconds``    ``{label: seconds}`` — the measured timings
+``derived``         ``{label: number}`` — speedups/ratios computed
+                    from ``wall_seconds`` (may be empty)
+``obs_overhead``    tracing-on / tracing-off runtime ratio, or null
+                    when the benchmark didn't measure it
+``notes``           free-form string (caveats, units, provenance)
+==================  ==================================================
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.obs.clock import wall
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "make_ledger",
+    "validate_ledger",
+    "write_ledger",
+    "read_ledger",
+]
+
+#: Current ledger schema identifier; bump on incompatible change.
+SCHEMA_VERSION = "repro-bench-ledger/1"
+
+_TOP_KEYS = (
+    "schema", "name", "created_unix", "seed", "graph", "engine",
+    "workers", "wall_seconds", "derived", "obs_overhead", "notes",
+)
+_GRAPH_KEYS = ("name", "vertices", "edges", "objectives")
+
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_ledger(doc: Any) -> List[str]:
+    """Strict schema check; returns problem strings (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["ledger is not an object"]
+    for key in _TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    for key in doc:
+        if key not in _TOP_KEYS:
+            problems.append(f"unknown key {key!r}")
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA_VERSION!r}"
+        )
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name is not a non-empty string")
+    elif not all(c.isalnum() or c in "_-" for c in name):
+        problems.append(f"name {name!r} has characters outside [A-Za-z0-9_-]")
+    if not _is_num(doc.get("created_unix")) or float(
+        doc.get("created_unix", 0.0) or 0.0
+    ) <= 0:
+        problems.append("created_unix is not a positive number")
+    if not isinstance(doc.get("seed"), int) or isinstance(
+        doc.get("seed"), bool
+    ):
+        problems.append("seed is not an integer")
+    graph = doc.get("graph")
+    if not isinstance(graph, dict):
+        problems.append("graph is not an object")
+    else:
+        for key in _GRAPH_KEYS:
+            if key not in graph:
+                problems.append(f"graph missing key {key!r}")
+        for key in graph:
+            if key not in _GRAPH_KEYS:
+                problems.append(f"graph has unknown key {key!r}")
+        if not isinstance(graph.get("name"), str):
+            problems.append("graph.name is not a string")
+        for key in ("vertices", "edges", "objectives"):
+            v = graph.get(key)
+            if key in graph and (
+                not isinstance(v, int) or isinstance(v, bool) or v < 0
+            ):
+                problems.append(f"graph.{key} is not a non-negative integer")
+    if not isinstance(doc.get("engine"), str) or not doc.get("engine"):
+        problems.append("engine is not a non-empty string")
+    workers = doc.get("workers")
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        problems.append("workers is not a positive integer")
+    timings = doc.get("wall_seconds")
+    if not isinstance(timings, dict) or not timings:
+        problems.append("wall_seconds is not a non-empty object")
+    else:
+        for key, v in timings.items():
+            if not isinstance(key, str):
+                problems.append(f"wall_seconds key {key!r} is not a string")
+            if not _is_num(v) or v < 0:
+                problems.append(
+                    f"wall_seconds[{key!r}] is not a non-negative number"
+                )
+    derived = doc.get("derived")
+    if not isinstance(derived, dict):
+        problems.append("derived is not an object")
+    else:
+        for key, v in derived.items():
+            if not isinstance(key, str):
+                problems.append(f"derived key {key!r} is not a string")
+            if not _is_num(v):
+                problems.append(f"derived[{key!r}] is not a number")
+    overhead = doc.get("obs_overhead")
+    if overhead is not None and (not _is_num(overhead) or overhead < 0):
+        problems.append("obs_overhead is neither null nor a non-negative "
+                        "number")
+    if not isinstance(doc.get("notes"), str):
+        problems.append("notes is not a string")
+    return problems
+
+
+def make_ledger(
+    name: str,
+    *,
+    graph: Dict[str, Any],
+    engine: str,
+    workers: int,
+    wall_seconds: Dict[str, float],
+    derived: Optional[Dict[str, float]] = None,
+    obs_overhead: Optional[float] = None,
+    seed: int = 0,
+    notes: str = "",
+) -> Dict[str, Any]:
+    """Build and self-validate a ledger document.
+
+    ``graph`` is ``{"name", "vertices", "edges", "objectives"}``.
+    Raises :class:`ReproError` listing every schema violation — a
+    benchmark can never write a document the validator would reject.
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "created_unix": wall(),
+        "seed": seed,
+        "graph": dict(graph),
+        "engine": engine,
+        "workers": workers,
+        "wall_seconds": dict(wall_seconds),
+        "derived": dict(derived or {}),
+        "obs_overhead": obs_overhead,
+        "notes": notes,
+    }
+    problems = validate_ledger(doc)
+    if problems:
+        raise ReproError(
+            f"invalid ledger {name!r}: " + "; ".join(problems)
+        )
+    return doc
+
+
+def write_ledger(results_dir: Union[str, Path], doc: Dict[str, Any]) -> Path:
+    """Validate ``doc`` and write ``BENCH_<name>.json``; returns the path."""
+    problems = validate_ledger(doc)
+    if problems:
+        raise ReproError(
+            "refusing to write invalid ledger: " + "; ".join(problems)
+        )
+    out_dir = Path(results_dir)
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / f"BENCH_{doc['name']}.json"
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def read_ledger(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one ledger file; raises :class:`ReproError`."""
+    p = Path(path)
+    try:
+        with open(p, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{p}: not JSON: {exc}") from exc
+    problems = validate_ledger(doc)
+    if problems:
+        raise ReproError(f"{p}: " + "; ".join(problems))
+    if not isinstance(doc, dict):  # unreachable after validate, for mypy
+        raise ReproError(f"{p}: not an object")
+    return doc

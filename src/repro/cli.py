@@ -54,7 +54,12 @@ from repro.obs import (
     use_metrics,
     use_tracer,
 )
-from repro.parallel import PartitionedEngine, resolve_engine
+from repro.parallel import (
+    PartitionedEngine,
+    SharedMemoryEngine,
+    engine_observability,
+    resolve_engine,
+)
 from repro.sssp import recompute_sssp
 
 __all__ = ["main", "build_parser"]
@@ -134,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of each batch that re-weights live edges "
         "(requires insert fraction + weight-change fraction <= 1)",
     )
+    u.add_argument(
+        "--min-dispatch-items", type=int, default=None,
+        help="override the shm engine's inline threshold (slab "
+        "supersteps below it run inline on the master); pass 1 to "
+        "force real worker dispatch on small demo graphs, e.g. for "
+        "cross-process traces (applies to --engine shm and to the "
+        "inner pools of --engine partitioned)",
+    )
     _add_obs_flags(u)
     return p
 
@@ -167,6 +180,10 @@ def _cmd_info(args, out) -> int:
     print(f"observability: tracer {get_tracer().describe()}, "
           f"clock {CLOCK_SOURCE}, "
           f"exporters {', '.join(EXPORTERS)}", file=out)
+    caps = engine_observability()
+    print("worker spans: "
+          + ", ".join(f"{name} {cap}" for name, cap in sorted(caps.items())),
+          file=out)
     return 0
 
 
@@ -221,17 +238,30 @@ def _cmd_mosp(args, out) -> int:
 
 
 def _cmd_update_demo(args, out) -> int:
-    g = _load(args.graph) if args.graph else road_like(2000, k=1,
-                                                       seed=args.seed)
+    tracer = get_tracer()
+    with tracer.span("setup.load") as sp_load:
+        g = _load(args.graph) if args.graph else road_like(2000, k=1,
+                                                           seed=args.seed)
+        sp_load.set(vertices=g.num_vertices, edges=g.num_edges)
     if g.num_objectives != 1:
         # demo drives Algorithm 1 directly; use the first objective
         pass
     if args.engine == "partitioned":
+        inner_options = (
+            {} if args.min_dispatch_items is None
+            else {"min_dispatch_items": int(args.min_dispatch_items)}
+        )
         engine = resolve_engine(PartitionedEngine(
-            threads=args.threads, partitions=args.partitions))
+            threads=args.threads, partitions=args.partitions,
+            inner_options=inner_options))
+    elif args.engine == "shm" and args.min_dispatch_items is not None:
+        engine = resolve_engine(SharedMemoryEngine(
+            threads=args.threads,
+            min_dispatch_items=int(args.min_dispatch_items)))
     else:
         engine = resolve_engine(args.engine, threads=args.threads)
-    tree = SOSPTree.build(g, args.source)
+    with tracer.span("setup.build_tree"):
+        tree = SOSPTree.build(g, args.source)
     # slab-dispatch engines (shm) only parallelise the vectorised CSR
     # kernels — route through them with an incrementally maintained
     # snapshot so --engine shm exercises the shared-memory path instead
@@ -241,7 +271,8 @@ def _cmd_update_demo(args, out) -> int:
         getattr(engine, "supports_slab_dispatch", False)
         or getattr(engine, "supports_partitioned_update", False)
     )
-    snapshot = CSRGraph.from_digraph(g) if use_csr else None
+    with tracer.span("setup.snapshot", csr=use_csr):
+        snapshot = CSRGraph.from_digraph(g) if use_csr else None
     print(f"graph: {g.num_vertices} vertices, {g.num_edges} edges "
           f"(engine: {engine.name}"
           f"{', csr kernels' if use_csr else ''})", file=out)
@@ -249,21 +280,22 @@ def _cmd_update_demo(args, out) -> int:
         args.insert_fraction < 1.0 or args.weight_change_fraction > 0.0
     )
     for step in range(1, args.steps + 1):
-        if mixed:
-            batch = random_mixed_batch(
-                g, args.batch_size, seed=args.seed + step,
-                insert_fraction=args.insert_fraction,
-                weight_change_fraction=args.weight_change_fraction,
-            )
-        else:
-            batch = random_insert_batch(g, args.batch_size,
-                                        seed=args.seed + step)
-        batch.apply_to(g)
-        if snapshot is not None:
+        with tracer.span("setup.batch", step=step):
             if mixed:
-                snapshot.apply_batch(batch)
+                batch = random_mixed_batch(
+                    g, args.batch_size, seed=args.seed + step,
+                    insert_fraction=args.insert_fraction,
+                    weight_change_fraction=args.weight_change_fraction,
+                )
             else:
-                snapshot.append_batch(batch)
+                batch = random_insert_batch(g, args.batch_size,
+                                            seed=args.seed + step)
+            batch.apply_to(g)
+            if snapshot is not None:
+                if mixed:
+                    snapshot.apply_batch(batch)
+                else:
+                    snapshot.append_batch(batch)
         if mixed:
             stats = apply_mixed_batch(g, tree, batch, engine=engine,
                                       use_csr_kernels=use_csr,
@@ -283,7 +315,8 @@ def _cmd_update_demo(args, out) -> int:
         )
     closer = getattr(engine, "close", None)
     if callable(closer):
-        closer()  # release pool workers / shared segments promptly
+        with tracer.span("teardown.close"):
+            closer()  # release pool workers / shared segments promptly
     return 0
 
 

@@ -14,12 +14,27 @@ Zero-dependency subsystem answering the paper's evaluation question —
   per kernel call from the existing stats objects;
 - :mod:`repro.obs.export` — JSONL, Chrome trace-event JSON
   (Perfetto-loadable), and Prometheus text exporters, wired into the
-  CLI via ``--trace``/``--metrics``.
+  CLI via ``--trace``/``--metrics``;
+- :mod:`repro.obs.collect` — cross-process collection: pool workers
+  record spans/metric deltas into preallocated buffers and ship them
+  back piggybacked on the engines' tagged replies, clock-aligned and
+  re-parented under the dispatching superstep span at merge;
+- :mod:`repro.obs.report` — ``python -m repro.obs report``, rolling a
+  merged trace up into the paper's phase taxonomy (Step 1/2/3, seed,
+  exchange, dispatch overhead, worker idle/skew).
 
 See ``docs/OBSERVABILITY.md`` for the span/metric ↔ paper phase map.
 """
 
 from repro.obs.clock import SOURCE as CLOCK_SOURCE
+from repro.obs.collect import (
+    WorkerCapture,
+    WorkerReport,
+    estimate_offset,
+    merge_report,
+    merge_reports,
+    obs_header,
+)
 from repro.obs.engine import TracedEngine
 from repro.obs.export import (
     EXPORTERS,
@@ -39,6 +54,7 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.report import attribute_trace, load_trace, render_text
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -53,6 +69,15 @@ from repro.obs.tracer import (
 __all__ = [
     "CLOCK_SOURCE",
     "TracedEngine",
+    "WorkerCapture",
+    "WorkerReport",
+    "estimate_offset",
+    "merge_report",
+    "merge_reports",
+    "obs_header",
+    "attribute_trace",
+    "load_trace",
+    "render_text",
     "EXPORTERS",
     "export_chrome_trace",
     "export_jsonl",

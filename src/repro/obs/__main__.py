@@ -4,6 +4,12 @@
     Schema-check a Chrome trace file written by ``--trace``; exit 0
     when valid, 1 with one problem per line otherwise.  CI's
     ``trace-smoke`` job runs this on a fresh ``update-demo`` trace.
+``report <trace> [--json] [--min-coverage F]``
+    Roll a merged trace (span ``.jsonl`` log or Chrome trace file) up
+    into the paper's phase taxonomy (Step 1/2/3, seed, exchange,
+    dispatch overhead, worker idle/skew — see
+    :mod:`repro.obs.report`).  ``--min-coverage 0.95`` exits 1 unless
+    at least 95% of wall time lands in named phases.
 ``overhead [--gate RATIO]``
     Measure the disabled-path cost of the default (passive) tracer
     against the ``REPRO_OBS=off`` null tracer on a synthetic
@@ -15,11 +21,13 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, TextIO
 
 from repro.obs.clock import perf
 from repro.obs.export import validate_chrome_trace
+from repro.obs.report import attribute_trace, load_trace, render_text
 from repro.obs.tracer import NULL_TRACER, Tracer, use_tracer
 
 __all__ = ["main"]
@@ -32,6 +40,28 @@ def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
             print(p, file=out)
         return 1
     print(f"{args.path}: valid Chrome trace", file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out: TextIO) -> int:
+    report = attribute_trace(load_trace(args.path))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(render_text(report, source=str(args.path)), file=out)
+    if args.min_coverage is not None:
+        if float(report["coverage"]) < args.min_coverage:
+            print(
+                f"coverage gate FAILED: {float(report['coverage']):.3f} < "
+                f"{args.min_coverage:.3f}",
+                file=out,
+            )
+            return 1
+        print(
+            f"coverage gate passed ({float(report['coverage']):.3f} >= "
+            f"{args.min_coverage:.3f})",
+            file=out,
+        )
     return 0
 
 
@@ -83,6 +113,15 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
     sub = p.add_subparsers(dest="command", required=True)
     v = sub.add_parser("validate", help="schema-check a Chrome trace file")
     v.add_argument("path")
+    r = sub.add_parser(
+        "report", help="phase-taxonomy attribution of a merged trace"
+    )
+    r.add_argument("path")
+    r.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    r.add_argument("--min-coverage", type=float, default=None,
+                   help="exit 1 unless this fraction of wall time lands "
+                        "in named phases")
     o = sub.add_parser("overhead", help="disabled-tracer overhead gate")
     o.add_argument("--gate", type=float, default=1.10,
                    help="max passive/no-obs median runtime ratio")
@@ -91,6 +130,8 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
     args = p.parse_args(argv)
     if args.command == "validate":
         return _cmd_validate(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     return _cmd_overhead(args, out)
 
 

@@ -17,8 +17,13 @@ sanitizer and the tracer compose) and annotates every
 Task functions are wrapped in a picklable :class:`_TaskRunner` that
 re-attaches the superstep span inside the worker, so spans opened by
 task bodies reparent correctly even on pool threads that never saw the
-caller's context (worker *processes* see their own default tracer, so
-the attach is a harmless no-op there).
+caller's context.  Worker *processes* see their own default tracer, so
+the attach is a harmless no-op there — their spans instead travel the
+piggybacked collector protocol of :mod:`repro.obs.collect` and are
+re-parented under the superstep span at merge time.  A superstep that
+lost a worker and re-ran inline after rollback (the shm
+``BrokenProcessPool`` path) is stamped ``recovery=true``, so crash
+recoveries are visible in traces.
 
 :func:`repro.parallel.api.resolve_engine` applies this wrapper
 automatically whenever the active tracer is recording; algorithm code
@@ -87,6 +92,8 @@ class TracedEngine:
             items=len(items),
         ) as sp:
             results = run(_TaskRunner(fn, sp))
+            if getattr(self.inner, "last_superstep_recovery", False):
+                sp.set(recovery=True)
             if work_fn is not None and results:
                 costs = sorted(
                     float(work_fn(items[i], results[i]))
@@ -155,12 +162,15 @@ class TracedEngine:
     ) -> List[Any]:
         """Slab-dispatch fast path: one span per dispatched superstep.
 
-        The slab spans never leave the master (workers receive only
-        ``(lo, hi)`` indices), so the work distribution is computed
-        here from the backend's ``last_slab_spans`` — spans on the
-        shm backend therefore report the same non-empty
-        ``work_p50/p95/max`` the closure backends do, plus the
-        dispatch payload size in bytes.
+        The work distribution is computed here from the backend's
+        ``last_slab_spans`` — spans on the shm backend therefore report
+        the same non-empty ``work_p50/p95/max`` the closure backends
+        do, plus the dispatch payload size in bytes.  When the tracer
+        is recording, the shm workers additionally record one
+        ``worker.slab`` span per slab and ship them back piggybacked on
+        the reply (:mod:`repro.obs.collect`); the merge re-parents them
+        under this superstep span.  A superstep that lost a worker and
+        re-ran inline after rollback is stamped ``recovery=true``.
         """
         tracer = get_tracer()
         enclosing = current_span()
@@ -175,6 +185,8 @@ class TracedEngine:
             results = self.inner.parallel_for_slabs(
                 n_items, task, work_fn=work_fn, min_chunk=min_chunk
             )
+            if getattr(self.inner, "last_superstep_recovery", False):
+                sp.set(recovery=True)
             spans = list(getattr(self.inner, "last_slab_spans", []) or [])
             sp.set(
                 slabs=len(spans),

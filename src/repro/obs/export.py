@@ -118,7 +118,10 @@ def validate_chrome_trace(source: Union[str, Path, Dict[str, Any]]) -> List[str]
     a ``traceEvents`` list of complete events with string ``name``,
     ``ph == "X"``, non-negative numeric ``ts``/``dur``, integer
     ``pid``/``tid``, and a dict ``args`` carrying an integer
-    ``span_id``.
+    ``span_id``.  A second pass checks parent/child time consistency:
+    an event whose ``args.parent_id`` resolves to another event must
+    not start before its parent — a merged worker span violating this
+    means the clock-offset estimation (or its clamping) is broken.
     """
     problems: List[str] = []
     if isinstance(source, (str, Path)):
@@ -155,6 +158,35 @@ def validate_chrome_trace(source: Union[str, Path, Dict[str, Any]]) -> List[str]
             problems.append(f"{where}: args is not an object")
         elif not isinstance(args.get("span_id"), int):
             problems.append(f"{where}: args.span_id is not an integer")
+    # second pass: no event may start before the event its parent_id
+    # resolves to (catches clock-offset merge bugs for worker spans)
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        args = ev.get("args")
+        if isinstance(args, dict) and isinstance(args.get("span_id"), int):
+            by_id[args["span_id"]] = ev
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            continue
+        parent_id = args.get("parent_id")
+        parent = by_id.get(parent_id) if isinstance(parent_id, int) else None
+        if parent is None:
+            continue
+        ts, pts = ev.get("ts"), parent.get("ts")
+        if (
+            isinstance(ts, (int, float)) and not isinstance(ts, bool)
+            and isinstance(pts, (int, float)) and not isinstance(pts, bool)
+            and ts < pts
+        ):
+            problems.append(
+                f"traceEvents[{i}]: ts {ts} precedes parent span "
+                f"{parent_id}'s start {pts}"
+            )
     return problems
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ReproError
 
@@ -28,9 +28,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "labeled_name",
     "set_metrics",
     "use_metrics",
 ]
+
+#: Raw histogram samples shipped per metric in a cross-process delta.
+_MAX_SHIPPED_SAMPLES = 256
+
+
+def labeled_name(
+    name: str, labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """Append ``labels`` to ``name`` in Prometheus label syntax.
+
+    Labels are sorted by key so the same label set always produces the
+    same series name; an empty/absent mapping returns ``name``
+    unchanged.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
 
 
 class Counter:
@@ -165,6 +184,58 @@ class MetricsRegistry:
         """Drop every registered metric (tests and long sessions)."""
         with self._lock:
             self._metrics.clear()
+
+    def deltas(self) -> Dict[str, Tuple[str, Any]]:
+        """Kind-tagged picklable dump: ``name -> (kind, payload)``.
+
+        The cross-process collector ships a *fresh* worker-side
+        registry back to the master this way, so every payload is by
+        construction a delta: counters/gauges carry their value,
+        histograms their raw samples (capped at
+        :data:`_MAX_SHIPPED_SAMPLES` — worker chunks observe a handful
+        of samples, and an unbounded list would grow the reply).
+        """
+        out: Dict[str, Tuple[str, Any]] = {}
+        with self._lock:
+            items: List[Tuple[str, _Metric]] = sorted(self._metrics.items())
+        for name, m in items:
+            if isinstance(m, Counter):
+                out[name] = ("counter", m.value)
+            elif isinstance(m, Gauge):
+                out[name] = ("gauge", m.value)
+            else:
+                out[name] = ("histogram", list(m.values[:_MAX_SHIPPED_SAMPLES]))
+        return out
+
+    def merge_deltas(
+        self,
+        deltas: Mapping[str, Tuple[str, Any]],
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`deltas` dump into this registry.
+
+        ``labels`` (e.g. ``{"shard": "0", "worker": "4711"}``) are
+        appended to each metric name in Prometheus label syntax, so
+        per-worker/per-shard series stay separable in exports while the
+        unlabelled master series remain untouched.  No-op when
+        disabled.
+        """
+        if not self.enabled:
+            return
+        for name, (kind, payload) in sorted(deltas.items()):
+            labeled = labeled_name(name, labels)
+            if kind == "counter":
+                self.counter(labeled).inc(float(payload))
+            elif kind == "gauge":
+                self.gauge(labeled).set(float(payload))
+            elif kind == "histogram":
+                hist = self.histogram(labeled)
+                for v in payload:
+                    hist.observe(float(v))
+            else:
+                raise ReproError(
+                    f"metric delta {name!r} has unknown kind {kind!r}"
+                )
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition (histograms as summaries)."""

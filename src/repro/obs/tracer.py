@@ -132,7 +132,25 @@ class Tracer:
             _CURRENT.reset(token)
             if self.recording:
                 with self._lock:
-                    self.finished.append(sp)
+                    self._record(sp)
+
+    def _record(self, span: Span) -> None:
+        """Sink for finished spans (subclasses override the storage —
+        the cross-process :class:`~repro.obs.collect.WorkerCollector`
+        writes into a preallocated buffer instead of a growing list)."""
+        self.finished.append(span)
+
+    def record_finished(self, span: Span) -> None:
+        """Record an externally produced, already-closed span.
+
+        The cross-process merge path
+        (:func:`repro.obs.collect.merge_report`) rebases worker spans
+        onto the master clock and appends them here so one ``drain()``
+        yields the merged timeline.  No-op unless recording.
+        """
+        if self.recording:
+            with self._lock:
+                self._record(span)
 
     @contextmanager
     def attach(self, span: Optional[Span]) -> Iterator[None]:

@@ -47,6 +47,7 @@ clock; a no-op outside the simulated engine).
 from repro.parallel.api import (
     Engine,
     SlabTask,
+    engine_observability,
     parallel_for_slabs,
     resolve_engine,
     slab_spans,
@@ -68,6 +69,7 @@ from repro.parallel.cost import WorkMeter
 
 __all__ = [
     "Engine",
+    "engine_observability",
     "resolve_engine",
     "slab_spans",
     "parallel_for_slabs",

@@ -26,12 +26,14 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
     List,
     Mapping,
     Optional,
     Protocol,
     Sequence,
     Tuple,
+    Type,
     TypeVar,
     Union,
     runtime_checkable,
@@ -45,6 +47,7 @@ R = TypeVar("R")
 __all__ = [
     "Engine",
     "SlabTask",
+    "engine_observability",
     "resolve_engine",
     "slab_spans",
     "parallel_for_slabs",
@@ -139,12 +142,23 @@ class BaseEngine:
     """
 
     name = "base"
+    #: How worker-task spans reach a recording tracer: ``"inline"``
+    #: backends run tasks in the master process, where the module-global
+    #: tracer records them directly; ``"collected"`` backends run tasks
+    #: in other processes and ship spans back through the piggybacked
+    #: reply protocol of :mod:`repro.obs.collect`.  ``repro info``
+    #: surfaces this per backend.
+    worker_spans = "inline"
 
     def __init__(self, threads: int = 1) -> None:
         if threads < 1:
             raise EngineError(f"threads must be >= 1, got {threads}")
         self.threads = int(threads)
         self.work_units: float = 0.0
+        #: Extra labels stamped onto spans/metrics merged from this
+        #: engine's workers (the partitioned engine sets
+        #: ``{"shard": "<i>"}`` on each inner pool).
+        self.obs_labels: Dict[str, str] = {}
 
     def _account_work(
         self,
@@ -247,6 +261,41 @@ def parallel_for_slabs(
     )
 
 
+def _engine_table() -> Dict[str, Type[Any]]:
+    """Backend name → engine class (shared by resolution and info)."""
+    # imports deferred to avoid a cycle with backends importing BaseEngine
+    from repro.parallel.backends.partitioned import PartitionedEngine
+    from repro.parallel.backends.processes import ProcessEngine
+    from repro.parallel.backends.serial import SerialEngine
+    from repro.parallel.backends.shm import SharedMemoryEngine
+    from repro.parallel.backends.simulated import SimulatedEngine
+    from repro.parallel.backends.threads import ThreadEngine
+
+    return {
+        "serial": SerialEngine,
+        "threads": ThreadEngine,
+        "processes": ProcessEngine,
+        "shm": SharedMemoryEngine,
+        "simulated": SimulatedEngine,
+        "partitioned": PartitionedEngine,
+    }
+
+
+def engine_observability() -> Dict[str, str]:
+    """Backend name → worker-span capability for ``repro info``.
+
+    ``"inline"`` backends execute tasks in the master process, where a
+    recording tracer sees their spans directly; ``"collected"``
+    backends execute tasks in worker processes and produce full traces
+    via the piggybacked collector protocol of :mod:`repro.obs.collect`.
+    Either way ``--trace`` yields a single merged timeline.
+    """
+    return {
+        name: str(getattr(cls, "worker_spans", "inline"))
+        for name, cls in _engine_table().items()
+    }
+
+
 def resolve_engine(
     engine: Optional[Union[str, Engine]] = None,
     threads: int = 1,
@@ -282,12 +331,7 @@ def resolve_engine(
     # imports deferred to avoid a cycle with backends importing BaseEngine
     from repro.obs.engine import TracedEngine
     from repro.obs.tracer import get_tracer
-    from repro.parallel.backends.partitioned import PartitionedEngine
-    from repro.parallel.backends.processes import ProcessEngine
     from repro.parallel.backends.serial import SerialEngine
-    from repro.parallel.backends.shm import SharedMemoryEngine
-    from repro.parallel.backends.simulated import SimulatedEngine
-    from repro.parallel.backends.threads import ThreadEngine
     from repro.parallel.checked import CheckedEngine
 
     if checked is None:
@@ -309,14 +353,7 @@ def resolve_engine(
     if engine is None:
         return _wrap(SerialEngine())
     if isinstance(engine, str):
-        table = {
-            "serial": SerialEngine,
-            "threads": ThreadEngine,
-            "processes": ProcessEngine,
-            "shm": SharedMemoryEngine,
-            "simulated": SimulatedEngine,
-            "partitioned": PartitionedEngine,
-        }
+        table = _engine_table()
         try:
             cls = table[engine]
         except KeyError:

@@ -192,6 +192,10 @@ class PartitionedEngine(BaseEngine):
     #: Core update functions route through the partitioned drivers when
     #: the resolved engine advertises this (wrappers forward it).
     supports_partitioned_update = True
+    #: Inner shm pools collect worker spans/metrics and ship them back
+    #: on the tagged reply; each pool carries a ``{"shard": i}`` label
+    #: so merged series/spans stay attributable per shard.
+    worker_spans = "collected"
 
     def __init__(
         self,
@@ -266,17 +270,28 @@ class PartitionedEngine(BaseEngine):
     def shard_pools(self) -> List[Engine]:
         """The per-shard inner engines (created lazily, cached)."""
         if self._pools is None:
-            self._pools = [self._make_pool() for _ in range(self.partitions)]
+            self._pools = [
+                self._make_pool(i) for i in range(self.partitions)
+            ]
         return self._pools
 
-    def _make_pool(self) -> Engine:
+    def _make_pool(self, index: int) -> Engine:
         if self.inner == "shm":
             from repro.parallel.backends.shm import SharedMemoryEngine
 
-            return SharedMemoryEngine(
+            pool: Engine = SharedMemoryEngine(
                 threads=self.threads, **self.inner_options
             )
-        return resolve_engine(self.inner, threads=self.threads, checked=False)
+        else:
+            pool = resolve_engine(
+                self.inner, threads=self.threads, checked=False
+            )
+        # worker spans/metrics merged from this pool carry the shard
+        # index, so per-shard series stay separable in exports
+        labels = getattr(pool, "obs_labels", None)
+        if isinstance(labels, dict):
+            labels["shard"] = str(index)
+        return pool
 
     def close(self) -> None:
         """Close every shard pool (workers, shared segments) and the

@@ -31,6 +31,8 @@ import pickle
 import warnings
 from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs.collect import WorkerCapture, WorkerReport, merge_reports, obs_header
+from repro.obs.tracer import current_span
 from repro.parallel.api import BaseEngine
 
 T = TypeVar("T")
@@ -43,6 +45,10 @@ _TAG_RESULTS = b"R"
 #: First byte of a worker reply: the payload did not survive the
 #: spawn round-trip; the repr of the unpickle error follows.
 _TAG_UNPICKLABLE = b"U"
+#: First byte of a worker reply: ``(results, WorkerReport)`` follows —
+#: chunk results plus the worker's piggybacked span/metric report (sent
+#: only when the dispatch payload carried an observability header).
+_TAG_RESULTS_OBS = b"O"
 
 
 def _chunk_runner(payload: bytes) -> bytes:
@@ -55,25 +61,51 @@ def _chunk_runner(payload: bytes) -> bytes:
     its serial fallback.  Exceptions raised by the task itself are NOT
     caught — they propagate to the master exactly like any other
     engine's task failure.
+
+    The payload is ``(fn, chunk)`` — or ``(fn, chunk, header)`` when
+    the master's tracer is recording, in which case the chunk runs
+    under a :class:`~repro.obs.collect.WorkerCapture` and the reply
+    piggybacks the worker's span/metric report on the ``b"O"`` tag.
     """
     try:
-        fn, chunk = pickle.loads(payload)
+        parts = pickle.loads(payload)
+        fn, chunk = parts[0], parts[1]
+        header = parts[2] if len(parts) > 2 else None
     except Exception as exc:  # repro: noqa(R003) - reported to master, which warns and falls back
         return _TAG_UNPICKLABLE + pickle.dumps(repr(exc))
-    return _TAG_RESULTS + pickle.dumps([fn(item) for item in chunk])
+    if header is None:
+        return _TAG_RESULTS + pickle.dumps([fn(item) for item in chunk])
+    with WorkerCapture(header) as cap:
+        with cap.task("worker.chunk", op="parallel_for", items=len(chunk)):
+            results = [fn(item) for item in chunk]
+        report = cap.report()
+    return _TAG_RESULTS_OBS + pickle.dumps((results, report))
 
 
-def _decode_parts(parts: Sequence[bytes]) -> Tuple[Optional[List[Any]], Optional[str]]:
-    """Decode tagged worker replies: ``(results, None)`` on success,
-    ``(None, error_repr)`` when any worker reported an unpicklable
-    payload."""
+def _decode_parts(
+    parts: Sequence[bytes],
+) -> Tuple[Optional[List[Any]], Optional[str], List[WorkerReport]]:
+    """Decode tagged worker replies.
+
+    Returns ``(results, None, reports)`` on success — ``reports``
+    collects the piggybacked :class:`~repro.obs.collect.WorkerReport`
+    of every ``b"O"``-tagged reply (empty for the legacy ``b"R"`` tag)
+    — or ``(None, error_repr, reports)`` when any worker reported an
+    unpicklable payload.
+    """
     out: List[Any] = []
+    reports: List[WorkerReport] = []
     for blob in parts:
         tag, body = blob[:1], blob[1:]
         if tag == _TAG_UNPICKLABLE:
-            return None, pickle.loads(body)
-        out.extend(pickle.loads(body))
-    return out, None
+            return None, pickle.loads(body), reports
+        if tag == _TAG_RESULTS_OBS:
+            results, report = pickle.loads(body)
+            out.extend(results)
+            reports.append(report)
+        else:
+            out.extend(pickle.loads(body))
+    return out, None, reports
 
 
 def _chunk_bounds(n: int, parts: int) -> List[Tuple[int, int]]:
@@ -100,6 +132,9 @@ class ProcessEngine(BaseEngine):
     """
 
     name = "processes"
+    #: Workers ship spans/metrics back piggybacked on the tagged reply
+    #: (see :mod:`repro.obs.collect`); ``repro info`` surfaces this.
+    worker_spans = "collected"
 
     def __init__(self, threads: int = 2, min_items_per_process: int = 1) -> None:
         super().__init__(threads=threads)
@@ -168,15 +203,26 @@ class ProcessEngine(BaseEngine):
         chunks = [
             list(items[lo:hi]) for lo, hi in _chunk_bounds(n, self.threads)
         ]
+        header = obs_header()
         try:
-            payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+            payloads = [
+                pickle.dumps(
+                    (fn, chunk) if header is None else (fn, chunk, header)
+                )
+                for chunk in chunks
+            ]
         except (pickle.PicklingError, AttributeError, TypeError):
             results = self._fallback(items, fn)
             self._account_work(items, results, work_fn)
             return results
         pool = self._ensure_pool()
         parts = pool.map(_chunk_runner, payloads)
-        out, error = _decode_parts(parts)
+        out, error, reports = _decode_parts(parts)
+        if header is not None and reports:
+            merge_reports(
+                reports, header["t_send"], anchor=current_span(),
+                labels=self.obs_labels or None,
+            )
         if out is None:
             out = self._fallback(
                 items, fn,

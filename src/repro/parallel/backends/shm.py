@@ -79,12 +79,15 @@ from typing import (
 import numpy as np
 
 from repro.errors import EngineError
+from repro.obs.collect import WorkerCapture, merge_reports, obs_header
+from repro.obs.tracer import current_span
 from repro.parallel.api import BaseEngine, SlabTask, slab_spans
 from repro.parallel.backends.processes import (
     _chunk_bounds,
     _chunk_runner,
     _decode_parts,
     _TAG_RESULTS,
+    _TAG_RESULTS_OBS,
     _TAG_UNPICKLABLE,
 )
 
@@ -201,14 +204,20 @@ def _resolve_kernel(ref: str) -> Callable[..., Any]:
 def _run_slab_chunk(payload: bytes) -> bytes:
     """Executed in the worker: run a chunk of slab spans of one superstep.
 
-    The payload carries only ``(ref, catalog, params, spans)``; the
-    arrays are materialised as views over the attached segments.  The
-    same tagged-reply protocol as
+    The payload carries only ``(ref, catalog, params, spans)`` — plus
+    an observability header as a fifth element when the master's tracer
+    is recording, in which case each slab runs under a
+    :class:`~repro.obs.collect.WorkerCapture` task span and the reply
+    piggybacks the worker's report on the ``b"O"`` tag.  The arrays are
+    materialised as views over the attached segments.  The same
+    tagged-reply protocol as
     :func:`~repro.parallel.backends.processes._chunk_runner` keeps
     payload decode failures from poisoning the pool.
     """
     try:
-        ref, catalog, params, spans = pickle.loads(payload)
+        parts = pickle.loads(payload)
+        ref, catalog, params, spans = parts[:4]
+        header = parts[4] if len(parts) > 4 else None
         fn = _resolve_kernel(ref)
         # Pin the catalog's segments for the duration of the chunk:
         # with > _MAX_WORKER_SEGMENTS names in one catalog, a later
@@ -225,9 +234,17 @@ def _run_slab_chunk(payload: bytes) -> bytes:
         _PINNED.clear()
         return _TAG_UNPICKLABLE + pickle.dumps(repr(exc))
     try:
-        return _TAG_RESULTS + pickle.dumps(
-            [fn(arrays, params, lo, hi) for lo, hi in spans]
-        )
+        if header is None:
+            return _TAG_RESULTS + pickle.dumps(
+                [fn(arrays, params, lo, hi) for lo, hi in spans]
+            )
+        with WorkerCapture(header) as cap:
+            results = []
+            for lo, hi in spans:
+                with cap.task("worker.slab", kernel=ref, lo=lo, hi=hi):
+                    results.append(fn(arrays, params, lo, hi))
+            report = cap.report()
+        return _TAG_RESULTS_OBS + pickle.dumps((results, report))
     finally:
         _PINNED.clear()
 
@@ -301,6 +318,16 @@ class SharedMemoryEngine(BaseEngine):
         Total payload bytes of the most recent *dispatched* slab
         superstep — the pickle-counting tests assert this stays
         catalog-sized (hundreds of bytes) regardless of array sizes.
+    last_obs_bytes:
+        Serialized bytes of the worker observability reports
+        piggybacked on the most recent dispatched superstep's replies;
+        ``0`` whenever the tracer is not recording (the reply payloads
+        are then byte-identical to the pre-collection protocol).
+    last_superstep_recovery:
+        True when the most recent superstep lost a worker process
+        (``BrokenProcessPool``) and re-ran inline after rollback —
+        :class:`~repro.obs.engine.TracedEngine` stamps the superstep
+        span with ``recovery=true`` from this.
     last_slab_spans:
         The ``(lo, hi)`` spans of the most recent slab superstep
         (traced wrappers read it to reconstruct work distributions).
@@ -312,6 +339,9 @@ class SharedMemoryEngine(BaseEngine):
     #: Advertises the :func:`~repro.parallel.api.parallel_for_slabs`
     #: fast path (checked/traced wrappers forward it via delegation).
     supports_slab_dispatch = True
+    #: Workers ship spans/metrics back piggybacked on the tagged reply
+    #: (see :mod:`repro.obs.collect`); ``repro info`` surfaces this.
+    worker_spans = "collected"
 
     def __init__(
         self,
@@ -323,6 +353,8 @@ class SharedMemoryEngine(BaseEngine):
         self.min_dispatch_items = int(min_dispatch_items)
         self.min_items_per_process = int(min_items_per_process)
         self.last_dispatch_bytes = 0
+        self.last_obs_bytes = 0
+        self.last_superstep_recovery = False
         self.last_slab_spans: List[Tuple[int, int]] = []
         self.dispatched_supersteps = 0
         self.inline_supersteps = 0
@@ -468,6 +500,8 @@ class SharedMemoryEngine(BaseEngine):
         """One slab superstep dispatched by reference (see module doc)."""
         spans = slab_spans(n_items, self, min_chunk)
         self.last_slab_spans = spans
+        self.last_obs_bytes = 0
+        self.last_superstep_recovery = False
         if not spans:
             return []
         missing = [a for a in task.arrays if a not in self._plants]
@@ -496,8 +530,13 @@ class SharedMemoryEngine(BaseEngine):
             for a in task.arrays
         }
         params = dict(task.params)
+        header = obs_header()
         payloads = [
-            _dumps_guarded((task.ref, catalog, params, spans[clo:chi]))
+            _dumps_guarded(
+                (task.ref, catalog, params, spans[clo:chi])
+                if header is None
+                else (task.ref, catalog, params, spans[clo:chi], header)
+            )
             for clo, chi in _chunk_bounds(len(spans), self.threads)
         ]
         self.last_dispatch_bytes = sum(len(p) for p in payloads)
@@ -519,6 +558,7 @@ class SharedMemoryEngine(BaseEngine):
             parts = [f.result() for f in futures]
         except BrokenProcessPool:
             self._reset_pool()
+            self.last_superstep_recovery = True
             self._warn_once(
                 "a worker process died mid-superstep; pool reset, "
                 "write set rolled back, re-running the superstep inline"
@@ -528,7 +568,13 @@ class SharedMemoryEngine(BaseEngine):
             results = [fn(arrays, task.params, lo, hi) for lo, hi in spans]
             self._account_work(spans, results, work_fn)
             return results
-        results, error = _decode_parts(parts)
+        results, error, reports = _decode_parts(parts)
+        if header is not None and reports:
+            self.last_obs_bytes = sum(len(pickle.dumps(r)) for r in reports)
+            merge_reports(
+                reports, header["t_send"], anchor=current_span(),
+                labels=self.obs_labels or None,
+            )
         if results is None:
             # make the failed superstep atomic: chunks that did run
             # have already written into the shared views
@@ -565,6 +611,7 @@ class SharedMemoryEngine(BaseEngine):
         n = len(items)
         if n == 0:
             return []
+        self.last_superstep_recovery = False
         if self.threads == 1 or n < self.threads * self.min_items_per_process:
             results = [fn(item) for item in items]
             self._account_work(items, results, work_fn)
@@ -572,8 +619,14 @@ class SharedMemoryEngine(BaseEngine):
         chunks = [
             list(items[lo:hi]) for lo, hi in _chunk_bounds(n, self.threads)
         ]
+        header = obs_header()
         try:
-            payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+            payloads = [
+                pickle.dumps(
+                    (fn, chunk) if header is None else (fn, chunk, header)
+                )
+                for chunk in chunks
+            ]
         except (pickle.PicklingError, AttributeError, TypeError):
             results = self._fallback(items, fn, "task is not picklable")
             self._account_work(items, results, work_fn)
@@ -584,12 +637,18 @@ class SharedMemoryEngine(BaseEngine):
             parts = [f.result() for f in futures]
         except BrokenProcessPool:
             self._reset_pool()
+            self.last_superstep_recovery = True
             results = self._fallback(
                 items, fn, "a worker process died mid-superstep (pool reset)"
             )
             self._account_work(items, results, work_fn)
             return results
-        out, error = _decode_parts(parts)
+        out, error, reports = _decode_parts(parts)
+        if header is not None and reports:
+            merge_reports(
+                reports, header["t_send"], anchor=current_span(),
+                labels=self.obs_labels or None,
+            )
         if out is None:
             out = self._fallback(
                 items, fn,

@@ -1,0 +1,140 @@
+"""Schema round-trips and validator rejections for BENCH_*.json ledgers."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.ledger import (
+    SCHEMA_VERSION,
+    make_ledger,
+    read_ledger,
+    validate_ledger,
+    write_ledger,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.errors import ReproError
+
+
+def _ledger(**overrides):
+    doc = make_ledger(
+        "demo_bench",
+        graph={"name": "road_like-100", "vertices": 100, "edges": 360,
+               "objectives": 1},
+        engine="shm",
+        workers=4,
+        wall_seconds={"update": 0.125, "recompute": 1.5},
+        derived={"speedup": 12.0},
+        obs_overhead=1.02,
+        seed=7,
+        notes="unit-test fixture",
+    )
+    doc.update(overrides)
+    return doc
+
+
+class TestMakeAndWrite:
+    def test_round_trip(self, tmp_path):
+        doc = _ledger()
+        assert validate_ledger(doc) == []
+        path = write_ledger(tmp_path, doc)
+        assert path.name == "BENCH_demo_bench.json"
+        back = read_ledger(path)
+        assert back == doc
+        assert back["schema"] == SCHEMA_VERSION
+
+    def test_make_rejects_bad_input(self):
+        with pytest.raises(ReproError, match="wall_seconds"):
+            make_ledger(
+                "x", graph={"name": "g", "vertices": 1, "edges": 0,
+                            "objectives": 1},
+                engine="serial", workers=1, wall_seconds={},
+            )
+
+    def test_write_refuses_invalid_doc(self, tmp_path):
+        doc = _ledger(workers="four")
+        with pytest.raises(ReproError, match="workers"):
+            write_ledger(tmp_path, doc)
+        assert list(tmp_path.glob("BENCH_*")) == []
+
+
+class TestValidator:
+    @pytest.mark.parametrize("mutate,needle", [
+        ({"schema": "repro-bench-ledger/0"}, "schema"),
+        ({"name": ""}, "name"),
+        ({"name": "has space"}, "name"),
+        ({"created_unix": -1.0}, "created_unix"),
+        ({"seed": "0"}, "seed"),
+        ({"graph": "roadNet-PA"}, "graph"),
+        ({"engine": ""}, "engine"),
+        ({"workers": 0}, "workers"),
+        ({"workers": True}, "workers"),
+        ({"wall_seconds": {"t": -0.1}}, "wall_seconds"),
+        ({"wall_seconds": {"t": "fast"}}, "wall_seconds"),
+        ({"derived": {"s": "2x"}}, "derived"),
+        ({"obs_overhead": -0.5}, "obs_overhead"),
+        ({"notes": None}, "notes"),
+        ({"extra_key": 1}, "unknown key"),
+    ])
+    def test_rejections(self, mutate, needle):
+        problems = validate_ledger(_ledger(**mutate))
+        assert problems, f"expected a problem for {mutate}"
+        assert any(needle in p for p in problems), problems
+
+    def test_missing_keys_reported(self):
+        doc = _ledger()
+        del doc["graph"], doc["engine"]
+        problems = validate_ledger(doc)
+        assert any("missing key 'graph'" in p for p in problems)
+        assert any("missing key 'engine'" in p for p in problems)
+
+    def test_graph_subschema(self):
+        doc = _ledger()
+        doc["graph"] = {"name": "g", "vertices": -1, "edges": 0,
+                       "objectives": 1, "extra": True}
+        problems = validate_ledger(doc)
+        assert any("graph.vertices" in p for p in problems)
+        assert any("unknown key 'extra'" in p for p in problems)
+
+    def test_obs_overhead_nullable(self):
+        assert validate_ledger(_ledger(obs_overhead=None)) == []
+
+    def test_not_a_dict(self):
+        assert validate_ledger([1, 2]) == ["ledger is not an object"]
+
+
+class TestValidateLedgersCommand:
+    def test_all_valid(self, tmp_path):
+        write_ledger(tmp_path, _ledger())
+        out = io.StringIO()
+        code = bench_main(
+            ["validate-ledgers", str(tmp_path), "--min-count", "1"], out=out
+        )
+        assert code == 0
+        assert "1/1 ledgers valid" in out.getvalue()
+
+    def test_invalid_ledger_fails(self, tmp_path):
+        doc = _ledger()
+        doc["workers"] = 0
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps(doc))
+        (tmp_path / "BENCH_notjson.json").write_text("{nope")
+        out = io.StringIO()
+        code = bench_main(["validate-ledgers", str(tmp_path)], out=out)
+        assert code == 1
+        text = out.getvalue()
+        assert text.count("INVALID") == 2
+
+    def test_min_count_floor(self, tmp_path):
+        out = io.StringIO()
+        code = bench_main(
+            ["validate-ledgers", str(tmp_path), "--min-count", "3"], out=out
+        )
+        assert code == 1
+        assert "expected at least 3" in out.getvalue()
+
+    def test_repo_ledgers_are_valid(self):
+        """Every committed results/BENCH_*.json must satisfy the schema."""
+        out = io.StringIO()
+        assert bench_main(["validate-ledgers", "results"], out=out) == 0, (
+            out.getvalue()
+        )

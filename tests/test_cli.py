@@ -42,6 +42,17 @@ class TestInfo:
         assert "jsonl" in text and "chrome-trace" in text
         assert "prometheus" in text
 
+    def test_reports_worker_span_capability_per_backend(self):
+        code, text = run(["info"])
+        assert code == 0
+        line = [ln for ln in text.splitlines()
+                if ln.startswith("worker spans:")][0]
+        assert "shm collected" in line
+        assert "processes collected" in line
+        assert "partitioned collected" in line
+        assert "serial inline" in line
+        assert "threads inline" in line
+
 
 class TestGenerate:
     @pytest.mark.parametrize("family", ["road", "rgg", "er"])
@@ -219,6 +230,37 @@ class TestObservabilityFlags:
         samples = parse_prometheus(prom.read_text())
         assert samples["sosp_updates_total"] == 2.0
         assert samples["engine_supersteps_total"] > 0
+
+    def test_shm_merged_trace_has_worker_spans_and_coverage(self, tmp_path):
+        """Acceptance: one merged Chrome trace from a real shm run —
+        worker kernel spans as children of dispatching supersteps,
+        validator-clean, and >=95% phase coverage via the report."""
+        import json
+
+        from repro.obs import validate_chrome_trace
+        from repro.obs.__main__ import main as obs_main
+
+        trace = tmp_path / "shm.json"
+        code, _ = run(
+            ["update-demo", "--steps", "1", "--batch-size", "30",
+             "--engine", "shm", "--threads", "2",
+             "--min-dispatch-items", "1", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert validate_chrome_trace(trace) == []
+        doc = json.loads(trace.read_text())
+        by_id = {e["args"]["span_id"]: e for e in doc["traceEvents"]}
+        workers = [e for e in doc["traceEvents"]
+                   if e["name"] == "worker.slab"]
+        assert workers
+        for w in workers:
+            parent = by_id[w["args"]["parent_id"]]
+            assert parent["name"] == "superstep"
+            assert w["ts"] >= parent["ts"]
+        out = io.StringIO()
+        assert obs_main(
+            ["report", str(trace), "--min-coverage", "0.95"], out=out
+        ) == 0, out.getvalue()
 
     def test_mosp_trace(self, graph_file, tmp_path):
         from repro.obs import validate_chrome_trace

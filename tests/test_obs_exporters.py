@@ -128,3 +128,54 @@ class TestPrometheus:
         text = reg.to_prometheus()
         assert "# HELP c_total my help" in text
         assert "# TYPE c_total counter" in text
+
+
+class TestParentTimeConsistency:
+    """Skewed-clock fixtures: a merged worker span whose timestamps were
+    rebased with a broken (or unclamped) clock offset starts before its
+    parent superstep — the validator must reject exactly that."""
+
+    @staticmethod
+    def _doc(child_ts):
+        return {
+            "traceEvents": [
+                {"name": "superstep", "ph": "X", "ts": 1000.0, "dur": 500.0,
+                 "pid": 0, "tid": 0, "args": {"span_id": 1}},
+                {"name": "worker.slab", "ph": "X", "ts": child_ts,
+                 "dur": 50.0, "pid": 0, "tid": 4711,
+                 "args": {"span_id": 2, "parent_id": 1, "worker": "4711"}},
+            ]
+        }
+
+    def test_rejects_child_starting_before_parent(self):
+        problems = validate_chrome_trace(self._doc(child_ts=900.0))
+        assert problems == [
+            "traceEvents[1]: ts 900.0 precedes parent span 1's start 1000.0"
+        ]
+
+    def test_accepts_aligned_child(self):
+        assert validate_chrome_trace(self._doc(child_ts=1000.0)) == []
+        assert validate_chrome_trace(self._doc(child_ts=1200.0)) == []
+
+    def test_unresolvable_parent_id_is_not_checked(self):
+        doc = self._doc(child_ts=900.0)
+        doc["traceEvents"][1]["args"]["parent_id"] = 99  # dangling
+        assert validate_chrome_trace(doc) == []
+
+    def test_skewed_merge_caught_end_to_end(self, tmp_path):
+        """An unclamped negative-offset merge writes a child that leads
+        its parent; the exported file must fail validation."""
+        rows = [s.to_dict() for s in _record_spans()]
+        parent = rows[1]
+        skewed = {
+            "name": "worker.slab", "span_id": 777,
+            "parent_id": parent["span_id"],
+            "start": parent["start"] - 10.0,
+            "end": parent["start"] - 9.0, "elapsed": 1.0,
+            "thread": 4711, "attrs": {"worker": "4711"},
+        }
+        path = tmp_path / "skewed.json"
+        export_chrome_trace(rows + [skewed], path)
+        problems = validate_chrome_trace(path)
+        assert len(problems) == 1
+        assert "precedes parent span" in problems[0]

@@ -430,3 +430,46 @@ class TestConstructionAndRegistry:
             assert engine.work_units == 3.0
         finally:
             engine.close()
+
+
+class TestWorkerSpanCollection:
+    """Worker spans from shard pools merge with per-shard labels."""
+
+    def test_worker_spans_carry_shard_and_worker_labels(self):
+        from repro.core import sosp_update
+        from repro.dynamic import random_insert_batch
+        from repro.graph import road_like
+        from repro.obs.engine import TracedEngine
+        from repro.obs.tracer import Tracer, use_tracer
+
+        g = road_like(2000, k=1, seed=0)
+        tree = SOSPTree.build(g, 0)
+        snapshot = CSRGraph.from_digraph(g)
+        batch = random_insert_batch(g, 50, seed=1)
+        batch.apply_to(g)
+        snapshot.append_batch(batch)
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            engine = TracedEngine(PartitionedEngine(
+                threads=2, partitions=2,
+                inner_options={"min_dispatch_items": 1},
+            ))
+            try:
+                sosp_update(g, tree, batch, engine=engine,
+                            use_csr_kernels=True, csr=snapshot)
+            finally:
+                engine.close()
+        tree.certify(g)
+        spans = tracer.drain()
+        workers = [s for s in spans if s.name == "worker.slab"]
+        assert workers, "expected dispatched worker spans"
+        shards = {s.attrs["shard"] for s in workers}
+        assert shards <= {"0", "1"} and shards
+        by_id = {s.span_id: s for s in spans}
+        for w in workers:
+            assert "worker" in w.attrs
+            anchor = by_id[w.parent_id]
+            # re-parented under the shard pool's dispatching superstep,
+            # itself inside the partitioned.superstep phase span
+            assert anchor.name == "superstep"
+            assert anchor.start <= w.start <= w.end <= anchor.end

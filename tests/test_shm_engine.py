@@ -337,6 +337,105 @@ class TestTracedSpans:
         assert sp.attrs["slabs"] >= 2
 
 
+class TestWorkerSpanCollection:
+    """Cross-process collection: worker spans ride the tagged reply and
+    merge — clock-aligned, re-parented — under the dispatching
+    superstep span; without a recording tracer the protocol is
+    byte-identical to the pre-collection one."""
+
+    def test_worker_slab_spans_merge_under_superstep(self):
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.ones(4096, dtype=np.float64))
+            e.parallel_for_slabs(4096, SlabTask(ref=DOUBLE,
+                                                arrays=("out",)))
+            assert e.inner.last_obs_bytes > 0
+            e.close()
+        spans = tracer.drain()
+        supersteps = [s for s in spans if s.name == "superstep"]
+        workers = [s for s in spans if s.name == "worker.slab"]
+        assert len(supersteps) == 1 and len(workers) >= 2
+        anchor = supersteps[0]
+        for w in workers:
+            assert w.parent_id == anchor.span_id
+            # clock-aligned: merged spans sit inside the superstep
+            assert anchor.start <= w.start <= w.end <= anchor.end
+            assert w.attrs["kernel"] == DOUBLE
+            assert int(w.attrs["worker"]) == w.thread != os.getpid()
+            assert "clock_offset" in w.attrs
+
+    def test_merged_trace_passes_chrome_validation(self, tmp_path):
+        from repro.obs import export_chrome_trace, validate_chrome_trace
+
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.ones(4096, dtype=np.float64))
+            e.parallel_for_slabs(4096, SlabTask(ref=DOUBLE,
+                                                arrays=("out",)))
+            e.close()
+        path = tmp_path / "trace.json"
+        export_chrome_trace(tracer.drain(), path)
+        assert validate_chrome_trace(path) == []
+
+    def test_no_collection_without_recording_tracer(self, eng):
+        eng.plant("out", np.ones(4096, dtype=np.float64))
+        eng.parallel_for_slabs(4096, SlabTask(ref=DOUBLE, arrays=("out",)))
+        assert eng.dispatched_supersteps == 1
+        # passive default tracer: no header shipped, no report returned
+        assert eng.last_obs_bytes == 0
+
+    def test_reply_tag_byte_identical_without_header(self):
+        """The generic chunk protocol only grows when a header rides
+        along — ``REPRO_OBS=off`` replies keep the legacy ``b"R"``."""
+        import pickle
+
+        from repro.parallel.backends.processes import (
+            _TAG_RESULTS,
+            _TAG_RESULTS_OBS,
+            _chunk_runner,
+        )
+        legacy = _chunk_runner(pickle.dumps((square, [1, 2, 3])))
+        assert legacy.startswith(_TAG_RESULTS)
+        assert pickle.loads(legacy[1:]) == [1, 4, 9]
+        obs = _chunk_runner(pickle.dumps(
+            (square, [1, 2, 3], {"t_send": 0.0})
+        ))
+        assert obs.startswith(_TAG_RESULTS_OBS)
+        results, report = pickle.loads(obs[1:])
+        assert results == [1, 4, 9]
+        assert [r["name"] for r in report.spans] == ["worker.chunk"]
+
+    def test_recovery_stamped_on_inline_rerun(self):
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.zeros(4096, dtype=np.int64))
+            task = SlabTask(ref=CRASH, arrays=("out",),
+                            params={"master_pid": os.getpid()})
+            with pytest.warns(RuntimeWarning, match="died mid-superstep"):
+                results = e.parallel_for_slabs(4096, task)
+            assert sum(results) == 4096
+            e.close()
+        sp = [s for s in tracer.drain() if s.name == "superstep"][0]
+        assert sp.attrs.get("recovery") is True
+
+    def test_healthy_superstep_has_no_recovery_attr(self):
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer):
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.ones(64, dtype=np.float64))
+            e.parallel_for_slabs(64, SlabTask(ref=DOUBLE, arrays=("out",)))
+            e.close()
+        sp = [s for s in tracer.drain() if s.name == "superstep"][0]
+        assert "recovery" not in sp.attrs
+
+
 class TestWorkerAttachCache:
     """Worker-side attach cache: a hit refreshes LRU order (plain FIFO
     used to evict the long-lived CSR base segments first — the hottest
