@@ -17,6 +17,15 @@ Commands
     ``--weight-change-fraction``, mixed insert/delete/re-weight)
     batches over a file or synthetic network and report per-batch
     incremental-update statistics.
+``serve``
+    Run the always-on update service over a synthetic edit feed:
+    streaming ingest, size/latency coalescing, epoch-stamped MVCC
+    snapshots, clean drain/stop.
+``serve-load``
+    Load-generate against a running service — concurrent mixed edits
+    and verified path queries — and report sustained updates/sec,
+    query latency percentiles, and torn-read violations (non-zero
+    exit on any violation; the CI smoke gate).
 
 Every command reads/writes the edge-list format of
 :mod:`repro.graph.io` (``u v w1 [.. wk]`` lines).
@@ -148,7 +157,57 @@ def build_parser() -> argparse.ArgumentParser:
         "inner pools of --engine partitioned)",
     )
     _add_obs_flags(u)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the always-on update service over a synthetic feed",
+    )
+    _add_serve_flags(sv)
+    _add_obs_flags(sv)
+
+    sl = sub.add_parser(
+        "serve-load",
+        help="mixed read/write load against the service; verifies "
+        "snapshot isolation and reports updates/sec + query p99",
+    )
+    _add_serve_flags(sl)
+    sl.add_argument("--queries", type=int, default=1000,
+                    help="minimum verified path queries across readers")
+    sl.add_argument("--readers", type=int, default=2,
+                    help="concurrent reader threads")
+    _add_obs_flags(sl)
     return p
+
+
+def _add_serve_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("graph", nargs="?", default=None,
+                     help="edge-list file (default: synthetic road, n=2000)")
+    sub.add_argument("--source", type=int, default=0)
+    sub.add_argument("--edits", type=int, default=200,
+                     help="total edge edits fed through the service")
+    sub.add_argument("--batch-size", type=int, default=25,
+                     help="edits per generated feed step")
+    sub.add_argument("--flush-size", type=int, default=64,
+                     help="coalescer size trigger (edits per applied batch)")
+    sub.add_argument("--flush-latency", type=float, default=0.02,
+                     help="coalescer latency trigger in seconds")
+    sub.add_argument("--max-pending", type=int, default=4096,
+                     help="ingest back-pressure bound")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--engine", default="serial",
+                     choices=("serial", "threads", "shm", "partitioned"))
+    sub.add_argument("--threads", type=int, default=4)
+    sub.add_argument("--partitions", type=int, default=2)
+    sub.add_argument(
+        "--insert-fraction", type=float, default=0.7,
+        help="fraction of the feed that inserts edges (rest deletes / "
+        "re-weights)",
+    )
+    sub.add_argument("--weight-change-fraction", type=float, default=0.15)
+    sub.add_argument(
+        "--min-dispatch-items", type=int, default=None,
+        help="shm inline threshold override (see update-demo)",
+    )
 
 
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
@@ -320,12 +379,125 @@ def _cmd_update_demo(args, out) -> int:
     return 0
 
 
+def _serve_engine(args):
+    """Engine instance for serve/serve-load (update-demo's rules)."""
+    if args.engine == "partitioned":
+        inner_options = (
+            {} if args.min_dispatch_items is None
+            else {"min_dispatch_items": int(args.min_dispatch_items)}
+        )
+        return resolve_engine(PartitionedEngine(
+            threads=args.threads, partitions=args.partitions,
+            inner_options=inner_options))
+    if args.engine == "shm" and args.min_dispatch_items is not None:
+        return resolve_engine(SharedMemoryEngine(
+            threads=args.threads,
+            min_dispatch_items=int(args.min_dispatch_items)))
+    return resolve_engine(args.engine, threads=args.threads)
+
+
+def _make_service(args):
+    from repro.service import UpdateService
+
+    g = _load(args.graph) if args.graph else road_like(2000, k=1,
+                                                       seed=args.seed)
+    engine = _serve_engine(args)
+    service = UpdateService(
+        g, args.source, engine=engine,
+        flush_size=args.flush_size, flush_latency=args.flush_latency,
+        max_pending=args.max_pending,
+    )
+    return service, engine
+
+
+def _cmd_serve(args, out) -> int:
+    from itertools import islice
+
+    from repro.dynamic.feed import stream_edits
+    from repro.dynamic.stream import ChangeStream
+    from repro.obs.clock import perf
+
+    service, engine = _make_service(args)
+    g = service.graph
+    print(f"serving: {g.num_vertices} vertices, {g.num_edges} edges "
+          f"(engine: {engine.name}, flush {args.flush_size} edits / "
+          f"{args.flush_latency * 1000:.0f} ms)", file=out)
+    replica = g.copy()
+    steps = max(1, -(-args.edits // max(1, args.batch_size)))
+    stream = ChangeStream(
+        replica, batch_size=max(1, args.batch_size), steps=steps,
+        insert_fraction=args.insert_fraction,
+        weight_change_fraction=args.weight_change_fraction,
+        seed=args.seed,
+    )
+    service.start()
+    t0 = perf()
+    offered = 0
+    for edit in islice(stream_edits(stream), args.edits):
+        service.submit(edit)
+        offered += 1
+    drained = service.drain(timeout=300.0)
+    wall = perf() - t0
+    clean = service.stop(drain=True)
+    closer = getattr(engine, "close", None)
+    if callable(closer):
+        closer()  # the CLI owns the engine instance, not the service
+    snap = service.snapshot()
+    rate = service.edits_applied / wall if wall > 0 else 0.0
+    print(f"ingested {offered} edits -> {service.batches_applied} batches "
+          f"-> {service.epochs_published} epochs "
+          f"({rate:.0f} edits/s sustained)", file=out)
+    print(f"final epoch {snap.epoch}: digest {snap.digest[:12]}, "
+          f"drain {'clean' if drained else 'TIMED OUT'}, "
+          f"stop {'clean' if clean else 'UNCLEAN'}, "
+          f"state {service.state}", file=out)
+    if service.error is not None:
+        print(f"service error: {service.error}", file=out)
+        return 1
+    return 0 if (drained and clean) else 1
+
+
+def _cmd_serve_load(args, out) -> int:
+    from repro.service import run_load
+
+    service, engine = _make_service(args)
+    g = service.graph
+    print(f"serving: {g.num_vertices} vertices, {g.num_edges} edges "
+          f"(engine: {engine.name}, {args.readers} readers)", file=out)
+    service.start()
+    report = run_load(
+        service, edits=args.edits, queries=args.queries,
+        readers=args.readers, batch_size=args.batch_size, seed=args.seed,
+        insert_fraction=args.insert_fraction,
+        weight_change_fraction=args.weight_change_fraction,
+    )
+    clean_stop = service.stop(drain=True)
+    closer = getattr(engine, "close", None)
+    if callable(closer):
+        closer()  # the CLI owns the engine instance, not the service
+    print(f"writes: {report.edits_applied}/{report.edits_offered} edits "
+          f"applied over {report.epochs} epochs "
+          f"({report.updates_per_sec:.0f} updates/s sustained)", file=out)
+    print(f"reads: {report.queries} verified queries, "
+          f"p50 {report.query_p50_s * 1e6:.0f} us, "
+          f"p99 {report.query_p99_s * 1e6:.0f} us", file=out)
+    print(f"isolation: {report.torn_reads} torn reads, "
+          f"{report.reader_errors} reader errors, "
+          f"drain {'clean' if report.drained else 'TIMED OUT'}, "
+          f"stop {'clean' if clean_stop else 'UNCLEAN'}", file=out)
+    if service.error is not None:
+        print(f"service error: {service.error}", file=out)
+    return 0 if (report.clean and clean_stop) else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
     "sssp": _cmd_sssp,
     "mosp": _cmd_mosp,
     "update-demo": _cmd_update_demo,
+    "serve": _cmd_serve,
+    "serve-load": _cmd_serve_load,
 }
 
 

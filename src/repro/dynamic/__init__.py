@@ -13,6 +13,10 @@ edges" (§4) over static base networks.  This package provides:
   sequence of batches (the evolving network ``G_t → G_{t+1} → …``).
 - :mod:`~repro.dynamic.workloads` — named application scenarios (road
   traffic, WSN, drone delivery) used by examples and benchmarks.
+- :mod:`~repro.dynamic.feed` — the record-level view: single
+  :class:`~repro.dynamic.feed.EdgeEdit` events and batch ⇄ edit
+  conversion, feeding the always-on update service's ingest queue
+  (:mod:`repro.service`).
 """
 
 from repro.dynamic.batch_gen import (
@@ -28,17 +32,22 @@ from repro.dynamic.changes import (
     KIND_WEIGHT,
     ChangeBatch,
 )
+from repro.dynamic.feed import EdgeEdit, batch_of, edits_of, stream_edits
 from repro.dynamic.stream import ChangeStream
 
 __all__ = [
     "ChangeBatch",
     "ChangeStream",
+    "EdgeEdit",
     "KIND_DELETE",
     "KIND_INSERT",
     "KIND_WEIGHT",
+    "batch_of",
+    "edits_of",
     "random_insert_batch",
     "local_insert_batch",
     "random_delete_batch",
     "random_weight_change_batch",
     "random_mixed_batch",
+    "stream_edits",
 ]

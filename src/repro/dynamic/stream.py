@@ -80,6 +80,7 @@ class ChangeStream:
             seed if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
+        self._pending: Optional[ChangeBatch] = None
 
     def _make_batch(self) -> ChangeBatch:
         if (
@@ -102,6 +103,31 @@ class ChangeStream:
         for _ in range(self.steps):
             yield self._make_batch()
 
+    @property
+    def pending(self) -> Optional[ChangeBatch]:
+        """The batch :meth:`play` applied but whose consumer never
+        finished, or ``None`` when graph and consumer agree.
+
+        ``play`` mutates the graph *before* invoking ``on_batch`` (the
+        consumer needs the post-change topology), so a callback that
+        raises leaves the graph exactly one batch ahead of the batches
+        the consumer processed.  That batch is parked here instead of
+        being silently lost.
+        """
+        return self._pending
+
+    def resync(self) -> Optional[ChangeBatch]:
+        """Return-and-clear the :attr:`pending` batch.
+
+        After a consumer failure, feed the returned batch through the
+        update path (or rebuild the tree from the graph) before calling
+        :meth:`play` again; ``play`` refuses to run while a pending
+        batch is unconsumed, so a crashed consumer cannot quietly skip
+        the changes already applied to the graph.
+        """
+        batch, self._pending = self._pending, None
+        return batch
+
     def play(
         self,
         on_batch: Optional[Callable[[int, ChangeBatch], None]] = None,
@@ -111,10 +137,23 @@ class ChangeStream:
         ``on_batch(step_index, batch)`` is called *after* the batch has
         been applied to the graph — the point at which an update
         algorithm would run.  Returns the number of steps played.
+
+        If ``on_batch`` raises, the already-applied batch stays
+        available via :attr:`pending` / :meth:`resync` so the consumer
+        can catch the graph up; until it is resynced, ``play`` raises
+        rather than drift another batch ahead.
         """
+        if self._pending is not None:
+            raise BatchError(
+                "play() called with an unconsumed pending batch: the "
+                "graph is ahead of the last consumer; call resync() "
+                "and process the returned batch first"
+            )
         for t in range(self.steps):
             batch = self._make_batch()
             batch.apply_to(self.graph)
+            self._pending = batch
             if on_batch is not None:
                 on_batch(t, batch)
+            self._pending = None
         return self.steps

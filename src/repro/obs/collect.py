@@ -111,7 +111,13 @@ class WorkerCollector(Tracer):
     def drain(self) -> List[Span]:
         with self._lock:
             out = self.buffer.spans()
-            self.buffer = SpanBuffer(self.buffer.capacity)
+            fresh = SpanBuffer(self.buffer.capacity)
+            # the drop count is cumulative for the collector's
+            # lifetime: a capture that drains mid-chunk must still
+            # report every span the full buffer refused, not reset
+            # worker_spans_dropped_total back to zero
+            fresh.dropped = self.buffer.dropped
+            self.buffer = fresh
         return out
 
     def describe(self) -> str:

@@ -53,22 +53,32 @@ def labeled_name(
 
 
 class Counter:
-    """Monotonically increasing total."""
+    """Monotonically increasing total.
 
-    __slots__ = ("name", "help", "value", "_enabled")
+    ``inc`` is locked: counters are mutated from shard-driver threads
+    merging worker reports concurrently (and from the service ingest
+    thread while readers export), and a lost ``+=`` would silently
+    under-count drop/total series.  Publication is batched (once per
+    call, never per inner-loop item), so the lock is off every hot
+    path.
+    """
+
+    __slots__ = ("name", "help", "value", "_enabled", "_lock")
 
     def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
         self.name = name
         self.help = help
         self.value: float = 0.0
         self._enabled = enabled
+        self._lock = threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
         if not self._enabled:
             return
         if n < 0:
             raise ReproError(f"counter {self.name}: negative increment {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
@@ -90,17 +100,19 @@ class Gauge:
 class Histogram:
     """Raw-sample histogram summarised as count/sum/min/max/p50/p95."""
 
-    __slots__ = ("name", "help", "values", "_enabled")
+    __slots__ = ("name", "help", "values", "_enabled", "_lock")
 
     def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
         self.name = name
         self.help = help
         self.values: List[float] = []
         self._enabled = enabled
+        self._lock = threading.Lock()
 
     def observe(self, v: float) -> None:
         if self._enabled:
-            self.values.append(float(v))
+            with self._lock:
+                self.values.append(float(v))
 
     def summary(self) -> Dict[str, float]:
         """The summary statistics of everything observed so far."""

@@ -302,6 +302,9 @@ class PartitionedEngine(BaseEngine):
                 closer = getattr(pool, "close", None)
                 if callable(closer):
                     closer()
+            # drop the closed pools so a reused engine respawns fresh
+            # ones (and a second close() never re-walks dead engines)
+            self._pools = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

@@ -363,6 +363,16 @@ class SharedMemoryEngine(BaseEngine):
         self._leaked_segments: List[shared_memory.SharedMemory] = []
         self._warned = False
         self._atexit_registered = False
+        # segments may only be unlinked by the process that created
+        # them: a forked child inherits this engine object (and its
+        # atexit finalizer) with segment names that belong to the
+        # parent — unlinking from the child would tear down the
+        # parent's live state underneath it
+        self._owner_pid = os.getpid()
+        self._snapshot_key: Optional[Tuple[Any, ...]] = None
+        self._snapshot: Optional[Dict[str, np.ndarray]] = None
+        self.snapshot_exports = 0
+        self.snapshot_copies = 0
 
     # ------------------------------------------------------- lifecycle
     def _ensure_finalizer(self) -> None:
@@ -392,21 +402,36 @@ class SharedMemoryEngine(BaseEngine):
         """Drain the pool and unlink every planted segment (idempotent).
 
         The engine stays usable afterwards: the pool and any re-planted
-        arrays come back lazily on the next superstep.
+        arrays come back lazily on the next superstep.  Teardown is
+        strictly per-instance: each engine only ever unlinks segments
+        it created itself, and only from the process that created them
+        — a forked child (or a second engine's finalizer running at
+        interpreter exit) can never unlink this engine's live
+        segments.
         """
+        owner = os.getpid() == self._owner_pid
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            if owner:
+                # pool workers are this process's children; a forked
+                # child must drop the handle without joining them
+                self._pool.shutdown(wait=True)
             self._pool = None
         for rec in self._plants.values():
-            self._release(rec)
+            self._release(rec, unlink=owner)
         self._plants.clear()
+        self._snapshot_key = None
+        self._snapshot = None
         if self._atexit_registered:
             atexit.unregister(self.close)
             self._atexit_registered = False
 
-    def _release(self, rec: _Plant) -> None:
+    def _release(self, rec: _Plant, unlink: bool = True) -> None:
         rec.view = None
-        rec.segment.unlink()
+        if unlink:
+            try:
+                rec.segment.unlink()
+            except FileNotFoundError:  # repro: noqa(R003) - already-unlinked name; double release must stay safe
+                pass
         try:
             rec.segment.close()
         except BufferError:
@@ -457,7 +482,7 @@ class SharedMemoryEngine(BaseEngine):
         nbytes = int(arr.nbytes)
         if rec is None or rec.capacity < nbytes:
             if rec is not None:
-                self._release(rec)
+                self._release(rec, unlink=os.getpid() == self._owner_pid)
             capacity = max(
                 _MIN_SEGMENT_BYTES, 1 << max(0, nbytes - 1).bit_length()
             )
@@ -488,6 +513,42 @@ class SharedMemoryEngine(BaseEngine):
             }
             for name, rec in self._plants.items()
         }
+
+    # -------------------------------------------------- MVCC snapshots
+    def publish_snapshot(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        stamp: Tuple[Any, ...],
+    ) -> Dict[str, np.ndarray]:
+        """Immutable, epoch-publishable copies of ``arrays``, keyed on
+        ``stamp``.
+
+        ``stamp`` plays the same role fingerprints play for
+        :meth:`plant`: it names the graph state the arrays were
+        computed against (callers pass the CSR ``tail_stamp``).  While
+        the stamp is unchanged since the previous export, the cached
+        read-only arrays are returned without copying — repeated
+        snapshot reads between update batches are zero-copy.  A new
+        stamp copies each array once and freezes it
+        (``writeable=False``), so a published snapshot can never
+        observe a later in-place update — the torn-read guarantee the
+        always-on service builds its epochs on.
+        """
+        names = tuple(sorted(arrays))
+        key = (names, stamp)
+        if self._snapshot is not None and self._snapshot_key == key:
+            self.snapshot_exports += 1
+            return self._snapshot
+        out: Dict[str, np.ndarray] = {}
+        for name in names:
+            frozen = np.array(arrays[name], copy=True)
+            frozen.setflags(write=False)
+            out[name] = frozen
+        self._snapshot_key = key
+        self._snapshot = out
+        self.snapshot_exports += 1
+        self.snapshot_copies += 1
+        return out
 
     # ----------------------------------------------------- slab path
     def parallel_for_slabs(

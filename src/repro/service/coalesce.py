@@ -1,0 +1,149 @@
+"""Size- and latency-triggered coalescing of edge edits into batches.
+
+The ingest half of the service: producers :meth:`~Coalescer.offer`
+individual edits into a bounded buffer; the single writer thread
+:meth:`~Coalescer.take`\\ s them back as flush groups.  A flush is cut
+when either
+
+- **size**: ``flush_size`` edits are pending (a full batch amortises
+  one update pass over many edits — the batch-dynamic model), or
+- **latency**: the oldest pending edit has waited ``flush_latency``
+  seconds (a trickle of edits must still reach readers promptly).
+
+The buffer is bounded at ``max_pending``: a producer that outruns the
+writer blocks in ``offer`` (or times out) instead of growing the queue
+without limit — back-pressure, not buffering, is the overload story.
+
+Timing goes through :func:`repro.obs.clock.perf`, the sanctioned
+monotonic clock (rule R005 keeps raw ``time.*`` reads out of service
+code).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.dynamic.feed import EdgeEdit
+from repro.errors import ReproError
+from repro.obs.clock import perf
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Bounded edit buffer with size/latency flush triggers."""
+
+    def __init__(
+        self,
+        flush_size: int = 128,
+        flush_latency: float = 0.05,
+        max_pending: int = 4096,
+    ) -> None:
+        if flush_size < 1:
+            raise ReproError(f"flush_size must be >= 1, got {flush_size}")
+        if flush_latency <= 0:
+            raise ReproError(
+                f"flush_latency must be > 0, got {flush_latency}"
+            )
+        if max_pending < flush_size:
+            raise ReproError(
+                f"max_pending ({max_pending}) must be >= flush_size "
+                f"({flush_size})"
+            )
+        self.flush_size = int(flush_size)
+        self.flush_latency = float(flush_latency)
+        self.max_pending = int(max_pending)
+        self._edits: Deque[Tuple[float, EdgeEdit]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.offered_total = 0
+        self.rejected_total = 0
+
+    # ----------------------------------------------------------- state
+    @property
+    def depth(self) -> int:
+        """Edits currently pending (the queue-depth gauge reads this)."""
+        return len(self._edits)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------- producers
+    def offer(
+        self, edit: EdgeEdit, timeout: Optional[float] = None
+    ) -> bool:
+        """Enqueue one edit; block while the buffer is full.
+
+        Returns ``True`` on acceptance, ``False`` when the buffer
+        stayed full for ``timeout`` seconds (the producer's overload
+        signal).  Raises :class:`ReproError` once the coalescer is
+        closed — a drained service must not silently swallow edits.
+        """
+        with self._cond:
+            if timeout is None:
+                while len(self._edits) >= self.max_pending:
+                    if self._closed:
+                        break
+                    self._cond.wait()
+            else:
+                deadline = perf() + float(timeout)
+                while len(self._edits) >= self.max_pending:
+                    if self._closed:
+                        break
+                    remaining = deadline - perf()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self.rejected_total += 1
+                        return False
+            if self._closed:
+                raise ReproError("offer() on a closed coalescer")
+            self._edits.append((perf(), edit))
+            self.offered_total += 1
+            self._cond.notify_all()
+            return True
+
+    # ---------------------------------------------------------- writer
+    def take(self, timeout: Optional[float] = None) -> List[EdgeEdit]:
+        """Wait for a flush trigger; return the flushed edits.
+
+        Cuts at most ``flush_size`` edits (FIFO).  An empty list means
+        the wait timed out with no trigger, or the coalescer is closed
+        and fully drained — the writer's signal to exit its loop.
+        """
+        with self._cond:
+            deadline = None if timeout is None else perf() + float(timeout)
+            while True:
+                n = len(self._edits)
+                if n >= self.flush_size:
+                    break
+                if self._closed:
+                    break  # flush whatever remains, then []
+                now = perf()
+                if n:
+                    age = now - self._edits[0][0]
+                    if age >= self.flush_latency:
+                        break
+                    wait = self.flush_latency - age
+                else:
+                    wait = None
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return []
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+            out = [
+                self._edits.popleft()[1]
+                for _ in range(min(self.flush_size, len(self._edits)))
+            ]
+            if out:
+                self._cond.notify_all()  # wake producers blocked on full
+            return out
+
+    def close(self) -> None:
+        """Stop accepting edits; pending ones remain takeable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

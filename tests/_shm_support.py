@@ -173,3 +173,22 @@ class MainOnlyFn:
 
     def __reduce__(self):
         return (_raise_on_load, ())
+
+
+def spam_spans_slab(
+    arrays: Mapping[str, np.ndarray], params: Mapping[str, Any],
+    lo: int, hi: int,
+) -> float:
+    """Emit ``params["spans"]`` tracer spans — far more than the
+    worker's preallocated :class:`~repro.obs.collect.SpanBuffer` holds
+    — so the buffer-overflow drop accounting runs through the real
+    dispatch path (capture, tagged reply, merge)."""
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    for i in range(int(params.get("spans", 600))):
+        with tracer.span("spam", i=i):
+            pass
+    out = arrays["out"]
+    out[lo:hi] += 1
+    return float(hi - lo)

@@ -358,3 +358,99 @@ class TestWorkloads:
         a = road_traffic_scenario(n=150, seed=9)
         b = road_traffic_scenario(n=150, seed=9)
         assert a.graph.num_edges == b.graph.num_edges
+
+
+class TestPlayFailureResync:
+    """Satellite bug: ``play`` mutates the graph before the callback.
+
+    A consumer that raises used to leave the graph silently one batch
+    ahead of the tree it maintained.  The applied-but-unconsumed batch
+    must now be parked on :attr:`pending`, ``play`` must refuse to run
+    until it is resynced, and ``resync`` hands it back exactly once."""
+
+    def _failing_stream(self):
+        g = erdos_renyi(10, 30, seed=0)
+        stream = ChangeStream(g, batch_size=5, steps=4, seed=1)
+        seen = []
+
+        def boom(t, batch):
+            if t == 1:
+                raise RuntimeError("consumer died mid-stream")
+            seen.append((t, batch))
+
+        return g, stream, seen, boom
+
+    def test_failed_callback_parks_the_applied_batch(self):
+        g, stream, seen, boom = self._failing_stream()
+        before = g.num_edges
+        with pytest.raises(RuntimeError):
+            stream.play(on_batch=boom)
+        # two batches reached the graph, the consumer only saw one
+        assert g.num_edges == before + 10
+        assert len(seen) == 1
+        assert stream.pending is not None
+        assert stream.pending.num_changes == 5
+
+    def test_play_refuses_until_resynced(self):
+        g, stream, _, boom = self._failing_stream()
+        with pytest.raises(RuntimeError):
+            stream.play(on_batch=boom)
+        with pytest.raises(BatchError, match="pending"):
+            stream.play()
+        parked = stream.resync()
+        assert parked is not None and parked.num_changes == 5
+        assert stream.pending is None
+        assert stream.resync() is None  # handed back exactly once
+        # caught up: the stream is usable again
+        assert stream.play() == 4
+
+    def test_clean_play_leaves_nothing_pending(self):
+        g = erdos_renyi(10, 30, seed=0)
+        stream = ChangeStream(g, batch_size=5, steps=3, seed=1)
+        assert stream.play() == 3
+        assert stream.pending is None
+
+
+class TestEditFeed:
+    """Flattening batches to per-edge edits and back (service ingest)."""
+
+    def test_round_trip_preserves_records(self):
+        from repro.dynamic import batch_of, edits_of
+
+        b = ChangeBatch(
+            np.array([0, 1, 2]), np.array([1, 2, 3]),
+            np.array([[2.0], [0.0], [4.0]]),
+            np.array([KIND_INSERT, KIND_DELETE, KIND_WEIGHT],
+                     dtype=np.int8),
+        )
+        edits = list(edits_of(b))
+        assert [e.kind for e in edits] == [
+            KIND_INSERT, KIND_DELETE, KIND_WEIGHT
+        ]
+        assert edits[1].weights is None  # deletions carry no weights
+        rb = batch_of(edits, k=1)
+        np.testing.assert_array_equal(rb.src, b.src)
+        np.testing.assert_array_equal(rb.dst, b.dst)
+        np.testing.assert_array_equal(rb.kind, b.kind)
+        np.testing.assert_array_equal(rb.weights, b.weights)
+
+    def test_batch_of_validates_arity(self):
+        from repro.dynamic import EdgeEdit, batch_of
+
+        with pytest.raises(BatchError):
+            batch_of([EdgeEdit(KIND_INSERT, 0, 1, (1.0, 2.0))], k=1)
+        with pytest.raises(BatchError):
+            batch_of([EdgeEdit(KIND_WEIGHT, 0, 1, None)], k=1)
+        assert batch_of([], k=1).num_changes == 0
+
+    def test_stream_edits_applies_and_flattens(self):
+        from itertools import islice
+
+        from repro.dynamic import stream_edits
+
+        g = erdos_renyi(10, 30, seed=0)
+        before = g.num_edges
+        stream = ChangeStream(g, batch_size=5, steps=2, seed=1)
+        edits = list(islice(stream_edits(stream), 10))
+        assert len(edits) == 10
+        assert g.num_edges == before + 10

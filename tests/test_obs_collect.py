@@ -64,6 +64,25 @@ class TestWorkerCollector:
         assert [s.name for s in c.drain()] == ["one"]
         assert len(c.buffer) == 0
 
+    def test_drain_preserves_cumulative_drop_count(self):
+        """Satellite bug: drain() used to swap in a buffer with
+        ``dropped = 0``, so a collector drained mid-chunk under-counted
+        ``worker_spans_dropped_total`` — the counter must keep
+        counting, never reset."""
+        c = WorkerCollector(capacity=2)
+        for i in range(5):
+            with c.span(f"s{i}"):
+                pass
+        assert c.buffer.dropped == 3
+        c.drain()
+        assert c.buffer.dropped == 3  # carried, not reset
+        for i in range(4):
+            with c.span(f"t{i}"):
+                pass
+        # 2 recorded into the fresh buffer, 2 more dropped on top
+        assert c.buffer.dropped == 5
+        assert len(c.buffer) == 2
+
 
 class TestWorkerCapture:
     def test_capture_installs_and_restores_process_state(self):
@@ -211,3 +230,47 @@ class TestMergeReport:
                          tracer=tracer, registry=registry)
         assert n == 0
         assert registry.snapshot()['worker_tasks_total{worker="4711"}'] == 2.0
+
+
+class TestBufferOverflowE2E:
+    """Satellite fixture: overflow through the *real* dispatch path.
+
+    A slab kernel emits far more spans than the worker's preallocated
+    buffer holds; the drop count must accumulate master-side across
+    chunks and supersteps (keep counting, not saturate) while the
+    merged trace still validates."""
+
+    def test_dispatch_overflow_counts_and_trace_validates(self, tmp_path):
+        import numpy as np
+
+        from repro.obs import (
+            export_chrome_trace,
+            get_metrics,
+            validate_chrome_trace,
+        )
+        from repro.obs.engine import TracedEngine
+        from repro.parallel import SharedMemoryEngine, SlabTask
+
+        spam = "tests._shm_support:spam_spans_slab"
+        tracer = Tracer(recording=True)
+        with use_tracer(tracer), use_metrics():
+            e = TracedEngine(SharedMemoryEngine(threads=2,
+                                                min_dispatch_items=1))
+            e.plant("out", np.zeros(4, dtype=np.float64))
+            task = SlabTask(ref=spam, arrays=("out",),
+                            params={"spans": 600}, writes=("out",))
+            e.parallel_for_slabs(4, task)
+            registry = get_metrics()
+            first = registry.snapshot()["worker_spans_dropped_total"]
+            # each slab span costs capacity; 600 spans/slab >> 512 slots
+            assert first > 0
+            e.parallel_for_slabs(4, task)
+            second = registry.snapshot()["worker_spans_dropped_total"]
+            # accumulates across supersteps — no saturation, no reset
+            assert second > first
+            e.close()
+        spans = tracer.drain()
+        assert sum(1 for s in spans if s.name == "spam") > 0
+        path = tmp_path / "overflow-trace.json"
+        export_chrome_trace(spans, path)
+        assert validate_chrome_trace(path) == []

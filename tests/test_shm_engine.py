@@ -571,3 +571,110 @@ class TestResolveAndWrappers:
                      "simulated"):
             e = resolve_engine(name, threads=2, checked=True)
             e.close()  # must never raise, even when inner has no pool
+
+
+class TestTwoEngineLifecycle:
+    """Satellite bug: two live engines must never unlink each other.
+
+    Teardown is strictly per-instance and per-process: ``close()``
+    releases only this engine's own segments, tolerates names that were
+    already unlinked externally, and a forked child dropping its
+    inherited engine copy must leave the parent's live segments (and
+    pool workers) alone."""
+
+    def test_two_engines_close_independently(self):
+        a = SharedMemoryEngine(threads=2, min_dispatch_items=1)
+        b = SharedMemoryEngine(threads=2, min_dispatch_items=1)
+        try:
+            a.plant("out", np.ones(8, dtype=np.float64))
+            view_b = b.plant("out", np.full(8, 2.0))
+            seg_b = b.plant_stats["out"]["segment"]
+            a.close()
+            # b's identically-named plant lives in its own segment and
+            # must survive a's teardown intact...
+            probe = shared_memory.SharedMemory(name=seg_b)
+            probe.close()
+            # ...and b must still dispatch real work afterwards
+            b.parallel_for_slabs(8, SlabTask(ref=DOUBLE,
+                                             arrays=("out",)))
+            np.testing.assert_array_equal(view_b, np.full(8, 4.0))
+        finally:
+            b.close()
+            a.close()  # second close of a dead engine: no-op
+
+    def test_release_tolerates_external_unlink(self):
+        e = SharedMemoryEngine(threads=2)
+        e.plant("out", np.ones(8, dtype=np.float64))
+        seg_name = e.plant_stats["out"]["segment"]
+        ext = shared_memory.SharedMemory(name=seg_name)
+        ext.unlink()  # e.g. the old double-unlink bug, or a janitor
+        ext.close()
+        e.close()  # must swallow FileNotFoundError, not raise
+
+    def test_forked_child_close_leaves_parent_segments(self):
+        if not hasattr(os, "fork"):
+            pytest.skip("fork-only scenario")
+        e = SharedMemoryEngine(threads=2)
+        view = e.plant("out", np.arange(8, dtype=np.float64))
+        seg_name = e.plant_stats["out"]["segment"]
+        pid = os.fork()
+        if pid == 0:
+            # child: the inherited engine (and its atexit finalizer)
+            # must close without unlinking the parent's segments
+            code = 0
+            try:
+                e.close()
+            except BaseException:
+                code = 1
+            os._exit(code)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        try:
+            probe = shared_memory.SharedMemory(name=seg_name)
+            probe.close()
+            np.testing.assert_array_equal(
+                view, np.arange(8, dtype=np.float64)
+            )
+        finally:
+            e.close()
+
+
+class TestPublishSnapshot:
+    """MVCC epoch export: stamp-keyed, frozen, zero-copy on repeats."""
+
+    def test_same_stamp_returns_cached_frozen_object(self, eng):
+        dist = np.arange(4, dtype=np.float64)
+        s1 = eng.publish_snapshot({"dist": dist}, ("s", 1))
+        s2 = eng.publish_snapshot({"dist": dist}, ("s", 1))
+        assert s1 is s2  # repeat export between batches is zero-copy
+        assert eng.snapshot_copies == 1
+        assert eng.snapshot_exports == 2
+        assert not s1["dist"].flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            s1["dist"][0] = 99.0
+
+    def test_new_stamp_recopies_and_decouples(self, eng):
+        dist = np.arange(4, dtype=np.float64)
+        s1 = eng.publish_snapshot({"dist": dist}, ("s", 1))
+        dist[0] = 99.0  # a later in-place update...
+        assert s1["dist"][0] == 0.0  # ...never reaches the old epoch
+        s2 = eng.publish_snapshot({"dist": dist}, ("s", 2))
+        assert s2 is not s1
+        assert s2["dist"][0] == 99.0
+        assert eng.snapshot_copies == 2
+
+    def test_close_clears_snapshot_cache(self):
+        e = SharedMemoryEngine(threads=2)
+        s1 = e.publish_snapshot({"d": np.ones(2)}, ("s", 1))
+        e.close()
+        s2 = e.publish_snapshot({"d": np.ones(2)}, ("s", 1))
+        assert s2 is not s1  # a closed engine never serves stale arrays
+        e.close()
+
+    def test_wrappers_forward_publish_snapshot(self):
+        e = resolve_engine("shm", threads=2, checked=True)
+        try:
+            snap = e.publish_snapshot({"d": np.ones(2)}, ("s", 1))
+            assert not snap["d"].flags.writeable
+        finally:
+            e.close()
